@@ -1,0 +1,73 @@
+// E2 - Lemma 5.2: for any input ensemble D outside Ψ_{C,n}, NO protocol
+// achieves CR-independence under D.
+//
+// We cannot sweep "all protocols", but the lemma's force is that even the
+// *best* protocols fail: we run all three real simultaneous-broadcast
+// protocols (and the two baselines) under two correlated ensembles - the
+// hard copy and the even-parity distribution - with NO corruption at all,
+// and show the CR tester flags every one of them.  The violation comes from
+// the correctness requirement itself: announced values must reproduce the
+// correlated inputs, so an input-borne predicate correlates with W_i no
+// matter how the protocol works.  As a control, the same protocols under
+// the (product) uniform ensemble all pass.
+#include <iostream>
+
+#include "core/registry.h"
+#include "core/report.h"
+#include "testers/cr_tester.h"
+
+namespace {
+using namespace simulcast;
+constexpr std::uint64_t kSeed = 0xE2;
+constexpr std::size_t kSamples = 1500;
+}  // namespace
+
+int main() {
+  core::print_banner("E2/cr-impossibility",
+                     "Lemma 5.2: D outside Psi_C,n implies no protocol is CR-independent "
+                     "under D",
+                     "5 protocols x {copy, even-parity} correlated ensembles, no corruption, "
+                     "n = 4, 1500 executions each; uniform ensemble as the control");
+
+  const dist::NoisyCopyEnsemble copy(4, 0.0);
+  const dist::EvenParityEnsemble parity(4);
+  const auto uniform = dist::make_uniform(4);
+
+  core::Table table({"protocol", "ensemble", "CR verdict", "max gap", "radius", "worst (i, R)"});
+  bool all_correlated_flagged = true;
+  bool all_uniform_passed = true;
+
+  for (const std::string& name : core::protocol_names()) {
+    // seq-broadcast-ds is the substrate-cost variant of seq-broadcast; its
+    // definitional behaviour is identical and its signature traffic makes
+    // thousands of executions needlessly slow, so the sweep skips it.
+    if (name == "seq-broadcast-ds") continue;
+    const auto proto = core::make_protocol(name);
+    testers::RunSpec spec;
+    spec.protocol = proto.get();
+    spec.params.n = 4;
+    spec.adversary = adversary::silent_factory();
+
+    const auto eval = [&](const dist::InputEnsemble& ens, bool expect_violation) {
+      const auto samples = testers::collect_samples(spec, ens, kSamples, kSeed);
+      const testers::CrVerdict v = testers::test_cr(samples, spec.corrupted);
+      table.add_row({name, ens.name(), v.independent ? "independent" : "VIOLATED",
+                     core::fmt(v.max_gap), core::fmt(v.radius),
+                     "P" + std::to_string(v.worst.party) + " / " + v.worst.predicate});
+      if (expect_violation && v.independent) all_correlated_flagged = false;
+      if (!expect_violation && !v.independent) all_uniform_passed = false;
+    };
+    eval(copy, true);
+    eval(parity, true);
+    eval(*uniform, false);
+  }
+  std::cout << table.render() << "\n";
+
+  const bool reproduced = all_correlated_flagged && all_uniform_passed;
+  core::print_verdict_line(
+      "E2/cr-impossibility", reproduced,
+      std::string("every protocol violates CR under both non-Psi_C ensembles: ") +
+          (all_correlated_flagged ? "yes" : "NO") +
+          "; uniform control passes everywhere: " + (all_uniform_passed ? "yes" : "NO"));
+  return reproduced ? 0 : 1;
+}

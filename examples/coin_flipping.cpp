@@ -1,0 +1,86 @@
+// Collective coin flipping: the application that shaped the definitions.
+//
+// n parties each contribute a random bit; the collective coin is the XOR of
+// the announced bits.  If the broadcast is simultaneous, no coalition can
+// bias the coin beyond aborting.  This example measures the empirical coin
+// bias in three configurations:
+//
+//   1. gennaro, all honest                          -> fair coin;
+//   2. gennaro, 2 passive corruptions               -> still fair;
+//   3. flawed-pi-g under the paper's A* adversary   -> the coin is ALWAYS 0
+//      (Claim 6.6), even though each corrupted party's own announced bit
+//      looks perfectly random - the exact trap G-independence fails to
+//      catch, and the reason the paper ranks Gennaro's definition weakest.
+#include <iomanip>
+#include <iostream>
+
+#include "core/session.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace simulcast;
+
+struct CoinStats {
+  double bias = 0.0;          ///< Pr[coin = 1] - 1/2
+  double corrupted_one = 0.0; ///< Pr[first corrupted announced bit = 1]
+};
+
+CoinStats measure(const std::string& protocol, const std::vector<sim::PartyId>& corrupted,
+                  const adversary::AdversaryFactory& factory, std::uint64_t seed,
+                  std::size_t reps) {
+  core::Session session(protocol, 5);
+  stats::Rng rng(seed);
+  std::size_t ones = 0;
+  std::size_t corrupted_ones = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    BitVec inputs(5);
+    for (std::size_t i = 0; i < 5; ++i) inputs.set(i, rng.bit());
+    const auto result =
+        session.run_with_adversary(inputs, corrupted, factory, rng.fork("run", rep)());
+    if (result.announced.parity()) ++ones;
+    if (!corrupted.empty() && result.announced.get(corrupted.front())) ++corrupted_ones;
+  }
+  CoinStats stats;
+  stats.bias = static_cast<double>(ones) / static_cast<double>(reps) - 0.5;
+  stats.corrupted_one =
+      corrupted.empty() ? 0.5 : static_cast<double>(corrupted_ones) / static_cast<double>(reps);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kReps = 2000;
+  std::cout << std::fixed << std::setprecision(4)
+            << "collective coin = XOR of announced bits, n = 5, " << kReps
+            << " flips per row\n\n";
+
+  const CoinStats honest = measure("gennaro", {}, adversary::silent_factory(), 1, kReps);
+  std::cout << "gennaro, all honest:             coin bias " << std::showpos << honest.bias
+            << std::noshowpos << "\n";
+
+  {
+    core::Session session("gennaro", 5);
+    sim::ProtocolParams params = session.params();
+    const CoinStats passive = measure(
+        "gennaro", {1, 3}, adversary::passive_factory(session.protocol(), params), 2, kReps);
+    std::cout << "gennaro, {1,3} passive:          coin bias " << std::showpos << passive.bias
+              << std::noshowpos << " (corrupted bit looks Bernoulli("
+              << passive.corrupted_one << "))\n";
+  }
+
+  const CoinStats rigged =
+      measure("flawed-pi-g", {1, 3}, adversary::parity_factory(), 3, kReps);
+  std::cout << "flawed-pi-g, A* attack:          coin bias " << std::showpos << rigged.bias
+            << std::noshowpos << " (corrupted bit STILL looks Bernoulli("
+            << rigged.corrupted_one << "))\n\n";
+
+  std::cout << "The rigged row is Lemma 6.4 in action: every individual announced bit\n"
+               "passes any marginal randomness test (G-independence holds), yet the\n"
+               "coin is deterministic - its XOR is 0 in every single execution.  Only\n"
+               "a joint notion (CR / Sb) rejects this protocol; run\n"
+               "./build/bench/bench_e4_separation_g_cr for the full measurement.\n";
+
+  return (std::abs(honest.bias) < 0.05 && rigged.bias < -0.45) ? 0 : 1;
+}

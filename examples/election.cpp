@@ -1,0 +1,80 @@
+// A yes/no referendum over simultaneous broadcast: the electronic-voting
+// motivation from the paper's introduction.
+//
+// Seven voters announce a yes (1) / no (0) vote; majority wins.  A lobbyist
+// controls one voter and wants the measure to FAIL, so the ideal strategy
+// is to watch the honest votes and vote "no" only when the race is close
+// (or better: always equal the negation needed).  Two scenarios:
+//
+//   - naive-commit-reveal + selective abort: the corrupted voter commits to
+//     "yes" and reveals only when honest voter 0 voted "yes" - correlating
+//     its announced vote with an honest one, which can flip close races
+//     relative to its committed intent;
+//   - gennaro: the vote is locked at commit time and recoverable; the only
+//     deviation left is abstaining (announced 0 = "no") *unconditionally*,
+//     i.e. without seeing anything - which is an honest-world strategy, not
+//     an attack.
+//
+// The example counts how often the corrupted coordinate correlates with
+// honest voter 0's announced vote in each scenario.
+#include <iomanip>
+#include <iostream>
+
+#include "core/session.h"
+#include "crypto/commitment.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace simulcast;
+constexpr std::size_t kVoters = 7;
+constexpr std::size_t kElections = 1500;
+
+struct Tally {
+  double match_rate = 0.0;   ///< Pr[corrupted announced == honest P0 announced]
+  double yes_rate = 0.0;     ///< Pr[measure passes]
+};
+
+Tally run_elections(const std::string& protocol, const adversary::AdversaryFactory& factory,
+                    std::uint64_t seed) {
+  core::Session session(protocol, kVoters);
+  stats::Rng rng(seed);
+  std::size_t matches = 0;
+  std::size_t passes = 0;
+  for (std::size_t e = 0; e < kElections; ++e) {
+    BitVec votes(kVoters);
+    for (std::size_t v = 0; v < kVoters; ++v) votes.set(v, rng.bernoulli(0.5));
+    const auto result = session.run_with_adversary(votes, {6}, factory, rng.fork("e", e)());
+    if (result.announced.get(6) == result.announced.get(0)) ++matches;
+    if (static_cast<std::size_t>(result.announced.popcount()) * 2 > kVoters) ++passes;
+  }
+  return {static_cast<double>(matches) / kElections, static_cast<double>(passes) / kElections};
+}
+
+}  // namespace
+
+int main() {
+  static const crypto::HashCommitmentScheme scheme;
+  std::cout << std::fixed << std::setprecision(3) << "referendum with " << kVoters
+            << " voters, voter 6 corrupted, " << kElections << " elections per row\n\n";
+
+  const Tally naive = run_elections(
+      "naive-commit-reveal", adversary::selective_abort_factory(0, scheme), 11);
+  std::cout << "naive-commit-reveal + selective abort:\n"
+            << "  corrupted vote matches honest voter 0: " << naive.match_rate
+            << "  (1.000 = perfectly correlated)\n"
+            << "  measure passes: " << naive.yes_rate << "\n\n";
+
+  const Tally fair = run_elections("gennaro", adversary::silent_factory(), 12);
+  std::cout << "gennaro + the strongest remaining deviation (unconditional abstain):\n"
+            << "  corrupted vote matches honest voter 0: " << fair.match_rate
+            << "  (0.5 = independent)\n"
+            << "  measure passes: " << fair.yes_rate << "\n\n";
+
+  std::cout << "Selective abort is why commit-then-reveal without recoverability is\n"
+               "not a simultaneous broadcast; the VSS-based protocols fix the vote at\n"
+               "commit time (tests/protocols/vss_protocols_test.cpp,\n"
+               "RevealWithholdingCannotChangeAnnouncedValue).\n";
+
+  return (naive.match_rate > 0.95 && std::abs(fair.match_rate - 0.5) < 0.06) ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// explore - compose protocol x adversary x distribution x tester from the
+// command line.  The "downstream user" tool: reproduce any cell of the
+// paper's experiment grid without writing code.
+//
+//   explore <protocol> <adversary> <distribution> [options]
+//
+//   protocols     seq-broadcast | cgma | chor-rabin | gennaro |
+//                 naive-commit-reveal | flawed-pi-g | flawed-pi-g-mpc |
+//                 seq-broadcast-ds
+//   adversaries   none | passive | silent | copy | parity | abort
+//   distributions uniform | singleton:<bits> | copy | parity-even |
+//                 product:<p0,p1,...>
+//   options       --n=<parties=5> --corrupt=<i,j,...> --samples=<N=2000>
+//                 --seed=<s=1>
+//
+// Examples:
+//   explore flawed-pi-g parity uniform --corrupt=1,3
+//   explore seq-broadcast copy singleton:1011 --n=4 --corrupt=3
+//   explore gennaro passive product:0.3,0.7,0.5,0.8 --n=4 --corrupt=2
+#include <iostream>
+#include <sstream>
+
+#include "core/registry.h"
+#include "core/report.h"
+#include "testers/cr_tester.h"
+#include "testers/g_tester.h"
+#include "testers/sb_tester.h"
+
+namespace {
+
+using namespace simulcast;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage: explore <protocol> <adversary> <distribution> "
+               "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1]\n"
+               "run 'explore list' to enumerate the registered protocols.\n";
+  std::exit(2);
+}
+
+std::vector<sim::PartyId> parse_ids(const std::string& csv) {
+  std::vector<sim::PartyId> ids;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) ids.push_back(std::stoul(item));
+  return ids;
+}
+
+std::vector<double> parse_probs(const std::string& csv) {
+  std::vector<double> p;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) p.push_back(std::stod(item));
+  return p;
+}
+
+std::shared_ptr<dist::InputEnsemble> make_ensemble(const std::string& spec, std::size_t n) {
+  if (spec == "uniform") return dist::make_uniform(n);
+  if (spec == "copy") return std::make_shared<dist::NoisyCopyEnsemble>(n, 0.0);
+  if (spec == "parity-even") return std::make_shared<dist::EvenParityEnsemble>(n);
+  if (spec.rfind("singleton:", 0) == 0)
+    return std::make_shared<dist::SingletonEnsemble>(BitVec::from_string(spec.substr(10)));
+  if (spec.rfind("product:", 0) == 0)
+    return std::make_shared<dist::ProductEnsemble>(parse_probs(spec.substr(8)));
+  usage("unknown distribution '" + spec + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "list") {
+    for (const std::string& name : core::protocol_names()) std::cout << name << "\n";
+    return 0;
+  }
+  if (argc < 4) usage();
+  const std::string protocol_name = argv[1];
+  const std::string adversary_name = argv[2];
+  const std::string dist_spec = argv[3];
+
+  std::size_t n = 5;
+  std::vector<sim::PartyId> corrupted;
+  std::size_t samples = 2000;
+  std::uint64_t seed = 1;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0)
+      n = std::stoul(arg.substr(4));
+    else if (arg.rfind("--corrupt=", 0) == 0)
+      corrupted = parse_ids(arg.substr(10));
+    else if (arg.rfind("--samples=", 0) == 0)
+      samples = std::stoul(arg.substr(10));
+    else if (arg.rfind("--seed=", 0) == 0)
+      seed = std::stoull(arg.substr(7));
+    else
+      usage("unknown option '" + arg + "'");
+  }
+
+  try {
+    const auto proto = core::make_protocol(protocol_name);
+    const auto ensemble = make_ensemble(dist_spec, n);
+    if (ensemble->bits() != n) usage("distribution width != --n");
+
+    static const crypto::HashCommitmentScheme scheme;
+    testers::RunSpec spec;
+    spec.protocol = proto.get();
+    spec.params.n = n;
+    spec.params.commitments = &scheme;
+    spec.corrupted = corrupted;
+    if (adversary_name == "none" || adversary_name == "silent")
+      spec.adversary = adversary::silent_factory();
+    else if (adversary_name == "passive")
+      spec.adversary = adversary::passive_factory(*proto, spec.params);
+    else if (adversary_name == "copy")
+      spec.adversary = adversary::copy_last_factory(0);
+    else if (adversary_name == "parity")
+      spec.adversary = adversary::parity_factory();
+    else if (adversary_name == "abort")
+      spec.adversary = adversary::selective_abort_factory(0, scheme);
+    else
+      usage("unknown adversary '" + adversary_name + "'");
+
+    std::cout << "running " << protocol_name << " x " << adversary_name << " x "
+              << ensemble->name() << "  (n=" << n << ", corrupt={";
+    for (std::size_t i = 0; i < corrupted.size(); ++i)
+      std::cout << (i ? "," : "") << corrupted[i];
+    std::cout << "}, " << samples << " executions, seed " << seed << ")\n\n";
+
+    const auto sample_set = testers::collect_samples(spec, *ensemble, samples, seed);
+    std::cout << "consistency rate: " << core::fmt(testers::consistency_rate(sample_set))
+              << "\n";
+    const auto cr = testers::test_cr(sample_set, spec.corrupted);
+    std::cout << core::describe(cr) << "\n";
+    if (!spec.corrupted.empty()) {
+      const auto g = testers::test_g(sample_set, spec.corrupted);
+      std::cout << core::describe(g) << "\n";
+    }
+    testers::SbOptions sb_options;
+    sb_options.samples = std::min<std::size_t>(samples, 800);
+    const auto sb = testers::test_sb(spec, *ensemble, sb_options, seed + 1);
+    std::cout << core::describe(sb) << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

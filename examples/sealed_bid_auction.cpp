@@ -1,0 +1,87 @@
+// Sealed-bid auction on top of simultaneous broadcast.
+//
+// The paper's introduction names contract bidding as a driving application:
+// bids must be mutually independent or a rushing bidder can shade the
+// leader's bid.  This example runs a first-price auction where each of four
+// bidders holds a 4-bit valuation, revealed bit-serially (MSB first) with
+// one broadcast session per bit position:
+//
+//   - with seq-broadcast as the per-bit primitive, corrupted bidder 3
+//     copies bidder 0's bits and ties the winning bid without knowing
+//     anything about valuations in advance;
+//   - with gennaro as the primitive, the same strategy collapses: unable
+//     to copy inside a session, the cheater is announced 0 on every bit.
+//
+// The bit-serial chaining uses core::ValueBroadcast, the library's
+// multi-bit lift of a one-bit simultaneous broadcast.
+#include <array>
+#include <iostream>
+
+#include "core/multi.h"
+
+namespace {
+
+using namespace simulcast;
+
+constexpr std::size_t kBidders = 4;
+constexpr std::size_t kBits = 4;  // valuations in [0, 15]
+
+struct AuctionOutcome {
+  std::array<unsigned, kBidders> bids{};
+  std::size_t winner = 0;
+};
+
+/// Runs the bit-serial auction over the chosen protocol; bidder 3 may be
+/// corrupted and driven by `factory`.
+AuctionOutcome run_auction(const std::string& protocol,
+                           const std::array<unsigned, kBidders>& valuations, bool corrupt_last,
+                           std::uint64_t seed) {
+  const core::ValueBroadcast vb(protocol, kBidders, kBits);
+  std::vector<std::uint64_t> values(valuations.begin(), valuations.end());
+
+  core::ValueBroadcastResult result;
+  if (corrupt_last) {
+    // Bidder 3 copies bidder 0's bit where the protocol allows it.
+    const adversary::AdversaryFactory factory =
+        protocol == "seq-broadcast" ? adversary::copy_last_factory(0)
+                                    : adversary::silent_factory();
+    result = vb.run_with_adversary(values, {3}, factory, seed);
+  } else {
+    result = vb.run(values, seed);
+  }
+
+  AuctionOutcome outcome;
+  for (std::size_t b = 0; b < kBidders; ++b)
+    outcome.bids[b] = static_cast<unsigned>(result.announced[b]);
+  for (std::size_t b = 1; b < kBidders; ++b)
+    if (outcome.bids[b] > outcome.bids[outcome.winner]) outcome.winner = b;
+  return outcome;
+}
+
+void report(const std::string& title, const AuctionOutcome& outcome) {
+  std::cout << title << "\n";
+  for (std::size_t b = 0; b < kBidders; ++b)
+    std::cout << "  bidder " << b << " announced bid " << outcome.bids[b]
+              << (b == outcome.winner ? "   <- wins" : "") << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const std::array<unsigned, kBidders> valuations = {11, 6, 9, 2};
+  std::cout << "sealed-bid auction, valuations: 11, 6, 9, 2 (bidder 3 is the cheater)\n\n";
+
+  report("honest auction over gennaro:", run_auction("gennaro", valuations, false, 1000));
+
+  report("cheating bidder 3 over seq-broadcast (copies bidder 0 bit by bit):",
+         run_auction("seq-broadcast", valuations, true, 2000));
+
+  report("same cheater against gennaro (cannot copy; refusing to commit "
+         "announces 0):",
+         run_auction("gennaro", valuations, true, 3000));
+
+  std::cout << "Independence of the per-bit broadcasts is exactly what makes the\n"
+               "auction sealed: see DESIGN.md (E4/E5) for the formal notions.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "base/bitvec.h"
+
+#include <algorithm>
+
+namespace simulcast {
+
+BitVec BitVec::from_string(std::string_view s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1')
+      v.set(i, true);
+    else if (s[i] != '0')
+      throw std::invalid_argument("BitVec::from_string: expected '0' or '1'");
+  }
+  return v;
+}
+
+BitVec BitVec::select(const std::vector<std::size_t>& indices) const {
+  BitVec out(indices.size());
+  for (std::size_t j = 0; j < indices.size(); ++j) out.set(j, get(indices[j]));
+  return out;
+}
+
+BitVec BitVec::splice(std::size_t n, const std::vector<std::size_t>& g_indices,
+                      const BitVec& w, const BitVec& z) {
+  const std::vector<std::size_t> b_indices = complement(n, g_indices);
+  if (w.size() != g_indices.size())
+    throw std::invalid_argument("BitVec::splice: |w| != |G|");
+  if (z.size() != b_indices.size())
+    throw std::invalid_argument("BitVec::splice: |z| != n - |G|");
+  BitVec out(n);
+  for (std::size_t j = 0; j < g_indices.size(); ++j) out.set(g_indices[j], w.get(j));
+  for (std::size_t j = 0; j < b_indices.size(); ++j) out.set(b_indices[j], z.get(j));
+  return out;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+std::vector<std::size_t> complement(std::size_t n, const std::vector<std::size_t>& set) {
+  std::vector<bool> in_set(n, false);
+  for (std::size_t i : set) {
+    if (i >= n) throw std::invalid_argument("complement: index out of range");
+    if (in_set[i]) throw std::invalid_argument("complement: duplicate index");
+    in_set[i] = true;
+  }
+  std::vector<std::size_t> out;
+  out.reserve(n - set.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (!in_set[i]) out.push_back(i);
+  return out;
+}
+
+}  // namespace simulcast

@@ -1,0 +1,100 @@
+// BitVec: a fixed-width vector of bits, n <= 64, packed into one word.
+//
+// This is the universal value type of the library: party inputs, announced
+// vectors (Definition 3.1), and distribution samples are all BitVec.  The
+// splice operation implements the paper's "x_G ⊔ z_B" notation (Section 2):
+// combine the coordinates of one vector on an index set with the coordinates
+// of another on the complement.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace simulcast {
+
+/// Maximum number of parties / bits supported by BitVec.
+inline constexpr std::size_t kMaxBits = 64;
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Zero vector of `size` bits.  Throws std::invalid_argument if size > 64.
+  explicit BitVec(std::size_t size) : size_(check_size(size)) {}
+
+  /// Vector of `size` bits with the low `size` bits of `packed`.
+  BitVec(std::size_t size, std::uint64_t packed)
+      : bits_(packed & mask(check_size(size))), size_(size) {}
+
+  /// Builds from a string like "0110" where index 0 is the leftmost char.
+  static BitVec from_string(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::uint64_t packed() const noexcept { return bits_; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    check_index(i);
+    return ((bits_ >> i) & 1u) != 0;
+  }
+
+  void set(std::size_t i, bool value) {
+    check_index(i);
+    if (value)
+      bits_ |= (std::uint64_t{1} << i);
+    else
+      bits_ &= ~(std::uint64_t{1} << i);
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] int popcount() const noexcept { return __builtin_popcountll(bits_); }
+
+  /// XOR of all bits (the parity attacked in Claim 6.6).
+  [[nodiscard]] bool parity() const noexcept { return (popcount() & 1) != 0; }
+
+  /// Sub-vector with the coordinates listed in `indices` (the paper's x_S).
+  /// Coordinate j of the result is this->get(indices[j]).
+  [[nodiscard]] BitVec select(const std::vector<std::size_t>& indices) const;
+
+  /// The paper's splice  w_G ⊔ z_B:  result has w's bits on `g_indices` and
+  /// z's bits on the complement of g_indices (in increasing index order).
+  /// w must have g_indices.size() bits and z must have n - |G| bits; the
+  /// result has n bits.
+  static BitVec splice(std::size_t n, const std::vector<std::size_t>& g_indices,
+                       const BitVec& w, const BitVec& z);
+
+  /// "0110"-style rendering, index 0 leftmost.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.size_ == b.size_ && a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const BitVec& a, const BitVec& b) noexcept { return !(a == b); }
+  friend bool operator<(const BitVec& a, const BitVec& b) noexcept {
+    return a.size_ != b.size_ ? a.size_ < b.size_ : a.bits_ < b.bits_;
+  }
+
+ private:
+  static std::size_t check_size(std::size_t size) {
+    if (size > kMaxBits) throw std::invalid_argument("BitVec: size > 64");
+    return size;
+  }
+  void check_index(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("BitVec: index out of range");
+  }
+  static std::uint64_t mask(std::size_t size) noexcept {
+    return size == kMaxBits ? ~std::uint64_t{0} : (std::uint64_t{1} << size) - 1;
+  }
+
+  std::uint64_t bits_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Complement of an index set within [0, n).  Input need not be sorted;
+/// output is sorted.  Throws on out-of-range or duplicate indices.
+[[nodiscard]] std::vector<std::size_t> complement(std::size_t n,
+                                                  const std::vector<std::size_t>& set);
+
+}  // namespace simulcast

@@ -1,0 +1,63 @@
+// Byte-buffer helpers: hex encoding and a simple canonical serializer used
+// for protocol message payloads and commitment preimages.
+//
+// The serializer writes length-prefixed fields so that concatenation
+// ambiguities (e.g. commit("ab","c") vs commit("a","bc")) cannot occur;
+// every protocol in src/protocols builds its hashed transcripts through it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simulcast {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex rendering of a byte buffer.
+[[nodiscard]] std::string to_hex(const Bytes& data);
+
+/// Parses lowercase/uppercase hex; throws simulcast::UsageError on bad input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Canonical, unambiguous serializer: every field is written with an
+/// explicit tag-free little-endian length prefix.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed raw bytes.
+  void bytes(const Bytes& data);
+  /// Length-prefixed string.
+  void str(std::string_view s);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Mirror-image reader; throws simulcast::ProtocolError on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::string str();
+  /// True when all input has been consumed.
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t count) const;
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace simulcast

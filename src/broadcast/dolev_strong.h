@@ -1,0 +1,69 @@
+// Dolev-Strong authenticated single-sender broadcast over point-to-point
+// channels.
+//
+// The simultaneous-broadcast protocols in src/protocols use the simulator's
+// broadcast-channel primitive; this module shows the primitive is
+// constructible in the model (the classic t+1-round protocol with
+// signatures, here our hash-based Merkle/Lamport signatures), and gives the
+// test suite a place to exercise equivocation attacks end to end.
+//
+// Round structure for an n-party session tolerating t corruptions:
+//   round 0:        every party broadcasts its signature public root (PKI).
+//   round 1:        the sender signs its bit and sends <bit, chain> to all.
+//   rounds 2..t+1:  a party that newly extracted a value appends its own
+//                   signature and relays; a chain is valid at round r iff it
+//                   carries r distinct valid signatures starting with the
+//                   sender's.
+// Output: the single extracted value, or the default 0 when the extracted
+// set is empty or has more than one element (the sender equivocated).
+// Total rounds: t + 2.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "crypto/lamport.h"
+#include "sim/protocol.h"
+
+namespace simulcast::broadcast {
+
+/// Single-sender broadcast as a ParallelBroadcastProtocol: party `sender`
+/// broadcasts its input bit; every honest party outputs a vector whose
+/// sender coordinate is the agreed bit and whose other coordinates are 0.
+class DolevStrongBroadcast final : public sim::ParallelBroadcastProtocol {
+ public:
+  /// Tolerates `t` corruptions (rounds = t + 2 including PKI).
+  DolevStrongBroadcast(sim::PartyId sender, std::size_t t) : sender_(sender), t_(t) {}
+
+  [[nodiscard]] std::string name() const override { return "dolev-strong"; }
+  [[nodiscard]] std::size_t rounds(std::size_t /*n*/) const override { return t_ + 2; }
+  [[nodiscard]] std::size_t max_corruptions(std::size_t /*n*/) const override { return t_; }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+
+  [[nodiscard]] sim::PartyId sender() const noexcept { return sender_; }
+  [[nodiscard]] std::size_t tolerance() const noexcept { return t_; }
+
+ private:
+  sim::PartyId sender_;
+  std::size_t t_;
+};
+
+/// One link of a signature chain on the wire.
+struct ChainLink {
+  sim::PartyId signer = 0;
+  crypto::MerkleSignature signature;
+};
+
+/// The digest every chain link signs: binds protocol, sender and bit.
+[[nodiscard]] crypto::Digest dolev_strong_digest(sim::PartyId sender, bool bit);
+
+/// Wire helpers exposed for tests and adversaries.
+[[nodiscard]] Bytes encode_chain(bool bit, const std::vector<ChainLink>& chain);
+struct DecodedChain {
+  bool bit = false;
+  std::vector<ChainLink> chain;
+};
+[[nodiscard]] std::optional<DecodedChain> decode_chain(const Bytes& data);
+
+}  // namespace simulcast::broadcast

@@ -1,0 +1,79 @@
+#include "broadcast/echo_broadcast.h"
+
+#include <array>
+#include <optional>
+
+namespace simulcast::broadcast {
+
+namespace {
+
+class EchoParty final : public sim::Party {
+ public:
+  EchoParty(sim::PartyId sender, std::size_t t, bool input)
+      : sender_(sender), t_(t), input_(input) {}
+
+  void begin(sim::PartyContext& ctx) override { n_ = ctx.n(); }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                sim::PartyContext& ctx) override {
+    if (round == 0) {
+      if (ctx.id() == sender_) {
+        received_ = input_;
+        for (sim::PartyId id = 0; id < n_; ++id)
+          if (id != ctx.id()) ctx.send(id, "echo-init", Bytes{input_ ? std::uint8_t{1} : std::uint8_t{0}});
+      }
+      return;
+    }
+    // round == 1: record the init, echo it.
+    for (const sim::Message& m : inbox) {
+      if (m.tag == "echo-init" && m.from == sender_ && m.payload.size() == 1 && !received_)
+        received_ = m.payload[0] != 0;
+    }
+    if (received_.has_value()) {
+      ++echoes_[*received_ ? 1 : 0];  // count own echo
+      for (sim::PartyId id = 0; id < n_; ++id)
+        if (id != ctx.id())
+          ctx.send(id, "echo", Bytes{*received_ ? std::uint8_t{1} : std::uint8_t{0}});
+    }
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+    std::vector<bool> echoed(n_, false);
+    for (const sim::Message& m : inbox) {
+      if (m.tag != "echo" || m.payload.size() != 1) continue;
+      if (m.from >= n_ || echoed[m.from]) continue;  // one echo per party
+      echoed[m.from] = true;
+      ++echoes_[m.payload[0] != 0 ? 1 : 0];
+    }
+    done_ = true;
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    BitVec b(n_);
+    const std::size_t quorum = n_ - t_;
+    if (done_) {
+      if (echoes_[1] >= quorum)
+        b.set(sender_, true);
+      // echoes_[0] >= quorum (or no quorum at all) leaves the default 0.
+    }
+    return b;
+  }
+
+ private:
+  sim::PartyId sender_;
+  std::size_t t_;
+  bool input_;
+  std::size_t n_ = 0;
+  std::optional<bool> received_;
+  std::array<std::size_t, 2> echoes_{0, 0};
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Party> EchoBroadcast::make_party(sim::PartyId /*id*/, bool input,
+                                                      const sim::ProtocolParams& /*params*/) const {
+  return std::make_unique<EchoParty>(sender_, t_, input);
+}
+
+}  // namespace simulcast::broadcast

@@ -1,0 +1,35 @@
+#include "broadcast/parallel_broadcast.h"
+
+#include <algorithm>
+
+namespace simulcast::broadcast {
+
+Announced extract_announced(const sim::ExecutionResult& result,
+                            const std::vector<sim::PartyId>& corrupted) {
+  Announced out;
+  out.consistent = result.honest_outputs_consistent(corrupted);
+  for (sim::PartyId id = 0; id < result.outputs.size(); ++id) {
+    const bool is_corrupted =
+        std::find(corrupted.begin(), corrupted.end(), id) != corrupted.end();
+    if (is_corrupted) continue;
+    if (result.outputs[id].has_value()) {
+      out.w = *result.outputs[id];
+      break;
+    }
+  }
+  return out;
+}
+
+bool correct_for_honest(const Announced& announced, const BitVec& inputs,
+                        const std::vector<sim::PartyId>& corrupted) {
+  if (!announced.consistent) return false;
+  for (std::size_t j = 0; j < inputs.size(); ++j) {
+    const bool is_corrupted =
+        std::find(corrupted.begin(), corrupted.end(), j) != corrupted.end();
+    if (is_corrupted) continue;
+    if (announced.w.get(j) != inputs.get(j)) return false;
+  }
+  return true;
+}
+
+}  // namespace simulcast::broadcast

@@ -1,0 +1,36 @@
+// Parallel broadcast per Definition 3.1 and the announced-value extraction.
+//
+// A protocol implements parallel broadcast when honest outputs agree
+// (consistency) and coordinate j of every honest output equals honest
+// party j's input (correctness).  The value "announced" by party i is the
+// i-th coordinate of any honest party's output; by footnote 2 of the paper,
+// a corrupted party that contributes nothing valid is announced as 0 - that
+// default is applied inside each protocol machine, so extraction here only
+// selects and cross-checks honest outputs.
+#pragma once
+
+#include <optional>
+
+#include "base/bitvec.h"
+#include "sim/network.h"
+
+namespace simulcast::broadcast {
+
+/// The vector W of Definition 3.1, with the consistency flag.
+struct Announced {
+  BitVec w;                ///< the announced vector (valid iff consistent)
+  bool consistent = false; ///< all honest outputs present and equal
+};
+
+/// Extracts W from an execution result.  Never throws on adversarial
+/// misbehaviour: an inconsistent execution yields consistent = false and an
+/// unspecified w (the first honest output, or empty if none exists).
+[[nodiscard]] Announced extract_announced(const sim::ExecutionResult& result,
+                                          const std::vector<sim::PartyId>& corrupted);
+
+/// Checks the correctness property: for every honest j, w[j] equals j's
+/// input bit.  (Consistency is reported by extract_announced.)
+[[nodiscard]] bool correct_for_honest(const Announced& announced, const BitVec& inputs,
+                                      const std::vector<sim::PartyId>& corrupted);
+
+}  // namespace simulcast::broadcast

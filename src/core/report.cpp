@@ -1,0 +1,108 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "base/error.h"
+
+namespace simulcast::core {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw UsageError("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) throw UsageError("Table: row width != header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << std::string(width[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string verdict_str(bool pass) {
+  return pass ? "PASS" : "FAIL";
+}
+
+std::string describe(const testers::CrVerdict& v) {
+  std::ostringstream os;
+  os << "CR " << (v.independent ? "independent" : "VIOLATED") << ": max gap " << fmt(v.max_gap)
+     << " (radius " << fmt(v.radius) << ") at P" << v.worst.party << " with R=["
+     << v.worst.predicate << "], Pr[Wi=0]=" << fmt(v.worst.p_wi_zero)
+     << " Pr[R]=" << fmt(v.worst.p_predicate) << " Pr[Wi=0,R]=" << fmt(v.worst.p_joint);
+  return os.str();
+}
+
+std::string describe(const testers::GVerdict& v) {
+  std::ostringstream os;
+  os << "G " << (v.independent ? "independent" : "VIOLATED") << ": max excess "
+     << fmt(v.max_excess) << " over " << v.pairs_tested << " conditionings";
+  if (!v.independent) {
+    os << "; worst at P" << v.worst.party << " between honest vectors "
+       << v.worst.r.to_string() << " and " << v.worst.s.to_string() << " (gap "
+       << fmt(v.worst.gap) << ", radius " << fmt(v.worst.radius) << ")";
+  }
+  return os.str();
+}
+
+std::string describe(const testers::GssVerdict& v) {
+  std::ostringstream os;
+  os << "G** " << (v.independent ? "independent" : "VIOLATED") << ": max gap " << fmt(v.max_gap)
+     << " (radius " << fmt(v.radius) << ") over " << v.executions << " executions";
+  if (!v.independent) {
+    os << "; worst at P" << v.worst.party << " with w=" << v.worst.w.to_string() << " between r="
+       << v.worst.r.to_string() << " and s=" << v.worst.s.to_string();
+  }
+  return os.str();
+}
+
+std::string describe(const testers::SbVerdict& v) {
+  std::ostringstream os;
+  os << "Sb " << (v.secure ? "simulatable" : "VIOLATED") << ": max distinguisher gap "
+     << fmt(v.max_distinguisher_gap) << " (radius " << fmt(v.radius) << "), joint TV "
+     << fmt(v.tv_joint);
+  if (!v.secure)
+    os << "; worst distinguisher [" << v.worst.distinguisher << "] real=" << fmt(v.worst.p_real)
+       << " ideal=" << fmt(v.worst.p_ideal);
+  return os.str();
+}
+
+void print_banner(const std::string& experiment_id, const std::string& paper_claim,
+                  const std::string& setup) {
+  std::cout << "\n=== " << experiment_id << " ===\n"
+            << "paper claim : " << paper_claim << "\n"
+            << "setup       : " << setup << "\n\n";
+}
+
+void print_verdict_line(const std::string& experiment_id, bool reproduced,
+                        const std::string& detail) {
+  std::cout << "[" << experiment_id << "] " << (reproduced ? "REPRODUCED" : "NOT-REPRODUCED")
+            << " - " << detail << "\n";
+}
+
+}  // namespace simulcast::core

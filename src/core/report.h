@@ -1,0 +1,50 @@
+// Plain-text reporting helpers for the experiment harnesses.
+//
+// Every bench binary prints (a) the paper's claim, (b) the measured
+// evidence, (c) a PASS/FAIL verdict line that EXPERIMENTS.md quotes.  The
+// Table class right-pads cells and draws the separators so all benches
+// look alike.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "testers/cr_tester.h"
+#include "testers/g_tester.h"
+#include "testers/gstarstar_tester.h"
+#include "testers/sb_tester.h"
+
+namespace simulcast::core {
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with a header separator; every column is as wide as its
+  /// widest cell.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Short formatters used by every experiment binary.
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+[[nodiscard]] std::string verdict_str(bool pass);
+[[nodiscard]] std::string describe(const testers::CrVerdict& v);
+[[nodiscard]] std::string describe(const testers::GVerdict& v);
+[[nodiscard]] std::string describe(const testers::GssVerdict& v);
+[[nodiscard]] std::string describe(const testers::SbVerdict& v);
+
+/// Experiment banner: id, paper claim, and what is being run.
+void print_banner(const std::string& experiment_id, const std::string& paper_claim,
+                  const std::string& setup);
+
+/// The one-line machine-greppable verdict every harness ends with.
+void print_verdict_line(const std::string& experiment_id, bool reproduced,
+                        const std::string& detail);
+
+}  // namespace simulcast::core

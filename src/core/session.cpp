@@ -1,0 +1,52 @@
+#include "core/session.h"
+
+#include "broadcast/parallel_broadcast.h"
+#include "core/registry.h"
+#include "sim/network.h"
+
+namespace simulcast::core {
+
+Session::Session(std::string protocol, std::size_t n) : protocol_(make_protocol(protocol)) {
+  params_.n = n;
+}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+std::size_t Session::rounds() const {
+  return protocol_->rounds(params_.n);
+}
+
+std::size_t Session::max_corruptions() const {
+  return protocol_->max_corruptions(params_.n);
+}
+
+SessionResult Session::run(const BitVec& inputs, std::uint64_t seed) const {
+  return run_with_adversary(inputs, {}, adversary::silent_factory(), seed);
+}
+
+SessionResult Session::run_with_adversary(const BitVec& inputs,
+                                          const std::vector<sim::PartyId>& corrupted,
+                                          const adversary::AdversaryFactory& adversary,
+                                          std::uint64_t seed) const {
+  sim::ExecutionConfig config;
+  config.seed = seed;
+  config.corrupted = corrupted;
+
+  const std::unique_ptr<sim::Adversary> adv = adversary();
+  const sim::ExecutionResult exec =
+      sim::run_execution(*protocol_, params_, inputs, *adv, config);
+  const broadcast::Announced announced = broadcast::extract_announced(exec, corrupted);
+
+  SessionResult result;
+  result.announced = announced.consistent ? announced.w : BitVec(params_.n);
+  result.consistent = announced.consistent;
+  result.correct = broadcast::correct_for_honest(announced, inputs, corrupted);
+  result.rounds = exec.rounds;
+  result.messages = exec.traffic.messages;
+  result.payload_bytes = exec.traffic.payload_bytes;
+  return result;
+}
+
+}  // namespace simulcast::core

@@ -1,0 +1,58 @@
+// High-level facade: "n parties simultaneously broadcast their bits".
+//
+// This is the 10-line entry point the examples build on.  It hides the
+// scheduler, the adversary plumbing and the announced-vector extraction;
+// callers pick a protocol, optionally a corruption set with an adversary,
+// and get back the announced vector W with its consistency/correctness
+// status.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "adversary/adversaries.h"
+#include "base/bitvec.h"
+#include "sim/protocol.h"
+
+namespace simulcast::core {
+
+struct SessionResult {
+  BitVec announced;        ///< W (Definition 3.1)
+  bool consistent = false; ///< honest outputs agreed
+  bool correct = false;    ///< honest coordinates match honest inputs
+  std::size_t rounds = 0;
+  std::size_t messages = 0;
+  std::size_t payload_bytes = 0;
+};
+
+class Session {
+ public:
+  /// `protocol` is a registry name (core/registry.h).
+  Session(std::string protocol, std::size_t n);
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+
+  /// Number of rounds this session's protocol needs.
+  [[nodiscard]] std::size_t rounds() const;
+
+  /// Largest corruption count the protocol tolerates.
+  [[nodiscard]] std::size_t max_corruptions() const;
+
+  /// Runs with every party honest.
+  [[nodiscard]] SessionResult run(const BitVec& inputs, std::uint64_t seed) const;
+
+  /// Runs with the given corrupted set driven by the adversary factory.
+  [[nodiscard]] SessionResult run_with_adversary(
+      const BitVec& inputs, const std::vector<sim::PartyId>& corrupted,
+      const adversary::AdversaryFactory& adversary, std::uint64_t seed) const;
+
+  [[nodiscard]] const sim::ParallelBroadcastProtocol& protocol() const { return *protocol_; }
+  [[nodiscard]] const sim::ProtocolParams& params() const { return params_; }
+
+ private:
+  std::unique_ptr<sim::ParallelBroadcastProtocol> protocol_;
+  sim::ProtocolParams params_;
+};
+
+}  // namespace simulcast::core

@@ -1,0 +1,90 @@
+#include "crypto/commitment.h"
+
+#include "base/error.h"
+#include "crypto/sha256.h"
+
+namespace simulcast::crypto {
+
+namespace {
+
+constexpr std::size_t kBlindingBytes = 32;
+
+Bytes encode_labelled(std::string_view domain, std::string_view label, const Opening& opening) {
+  ByteWriter w;
+  w.str(domain);
+  w.str(label);
+  w.bytes(opening.message);
+  w.bytes(opening.randomness);
+  return w.take();
+}
+
+}  // namespace
+
+Opening HashCommitmentScheme::make_opening(const Bytes& message, HmacDrbg& drbg) const {
+  return Opening{message, drbg.generate(kBlindingBytes)};
+}
+
+Commitment HashCommitmentScheme::commit(std::string_view label, const Opening& opening) const {
+  const Digest d = sha256(encode_labelled("simulcast/hash-commit/v1", label, opening));
+  return Commitment{digest_bytes(d)};
+}
+
+bool HashCommitmentScheme::verify(std::string_view label, const Commitment& commitment,
+                                  const Opening& opening) const {
+  const Commitment expected = commit(label, opening);
+  if (expected.value.size() != commitment.value.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.value.size(); ++i)
+    diff |= static_cast<std::uint8_t>(expected.value[i] ^ commitment.value[i]);
+  return diff == 0;
+}
+
+PedersenCommitmentScheme::PedersenCommitmentScheme() : group_(&SchnorrGroup::standard()) {}
+
+Zq PedersenCommitmentScheme::message_exponent(std::string_view label, const Bytes& message) const {
+  ByteWriter w;
+  w.str("simulcast/pedersen-msg/v1");
+  w.str(label);
+  w.bytes(message);
+  const Digest d = sha256(w.data());
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x = (x << 8) | d[static_cast<std::size_t>(i)];
+  return Zq{x, group_->q()};
+}
+
+Opening PedersenCommitmentScheme::make_opening(const Bytes& message, HmacDrbg& drbg) const {
+  const Zq r = group_->sample_exponent(drbg);
+  ByteWriter w;
+  w.u64(r.value());
+  return Opening{message, w.take()};
+}
+
+Commitment PedersenCommitmentScheme::commit(std::string_view label,
+                                            const Opening& opening) const {
+  ByteReader reader(opening.randomness);
+  const Zq r{reader.u64(), group_->q()};
+  const Zq m = message_exponent(label, opening.message);
+  const std::uint64_t c = group_->mul(group_->exp_g(m), group_->exp_h(r));
+  ByteWriter w;
+  w.u64(c);
+  return Commitment{w.take()};
+}
+
+bool PedersenCommitmentScheme::verify(std::string_view label, const Commitment& commitment,
+                                      const Opening& opening) const {
+  if (commitment.value.size() != 8) return false;
+  try {
+    const Commitment expected = commit(label, opening);
+    return expected.value == commitment.value;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::unique_ptr<CommitmentScheme> make_commitment_scheme(std::string_view name) {
+  if (name == "hash") return std::make_unique<HashCommitmentScheme>();
+  if (name == "pedersen") return std::make_unique<PedersenCommitmentScheme>();
+  throw UsageError("make_commitment_scheme: unknown scheme '" + std::string(name) + "'");
+}
+
+}  // namespace simulcast::crypto

@@ -1,0 +1,96 @@
+// Commitment schemes used by the commit-then-reveal protocols.
+//
+// Both schemes bind a caller-supplied *label* (protocol id, party id,
+// session nonce) into the commitment.  That label binding is what stops the
+// copy/mauling attacks on parallel broadcast: a corrupted party cannot
+// replay an honest party's commitment under its own identity, because the
+// label would not verify.  The paper's protocols assume non-malleable
+// commitments for the same reason.
+//
+// - HashCommitmentScheme: C = SHA256(label || message || randomness); hiding
+//   and binding in the random-oracle model.
+// - PedersenCommitmentScheme: C = g^m h^r in the standard Schnorr group with
+//   m = SHA256(label || message) reduced mod q; statistically hiding,
+//   computationally binding under discrete log (collision-resistance of the
+//   message map comes from SHA-256).
+//
+// Protocols take a `const CommitmentScheme&`, so the backend is an
+// experiment parameter (ablated in bench_e9_rounds).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/bytes.h"
+#include "crypto/group.h"
+#include "crypto/hmac.h"
+
+namespace simulcast::crypto {
+
+/// Opaque commitment value, as broadcast on the wire.
+struct Commitment {
+  Bytes value;
+  friend bool operator==(const Commitment&, const Commitment&) = default;
+};
+
+/// What the committer keeps and later reveals.
+struct Opening {
+  Bytes message;
+  Bytes randomness;
+};
+
+class CommitmentScheme {
+ public:
+  virtual ~CommitmentScheme() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Samples the blinding randomness for `message`.
+  [[nodiscard]] virtual Opening make_opening(const Bytes& message, HmacDrbg& drbg) const = 0;
+
+  /// Commits to an opening under a context label.
+  [[nodiscard]] virtual Commitment commit(std::string_view label,
+                                          const Opening& opening) const = 0;
+
+  /// Checks that `opening` opens `commitment` under `label`.
+  [[nodiscard]] virtual bool verify(std::string_view label, const Commitment& commitment,
+                                    const Opening& opening) const = 0;
+
+  /// Size in bytes of a commitment on the wire (for the E9 byte counts).
+  [[nodiscard]] virtual std::size_t commitment_size() const = 0;
+};
+
+class HashCommitmentScheme final : public CommitmentScheme {
+ public:
+  [[nodiscard]] std::string name() const override { return "hash-sha256"; }
+  [[nodiscard]] Opening make_opening(const Bytes& message, HmacDrbg& drbg) const override;
+  [[nodiscard]] Commitment commit(std::string_view label, const Opening& opening) const override;
+  [[nodiscard]] bool verify(std::string_view label, const Commitment& commitment,
+                            const Opening& opening) const override;
+  [[nodiscard]] std::size_t commitment_size() const override { return kSha256DigestSize; }
+};
+
+class PedersenCommitmentScheme final : public CommitmentScheme {
+ public:
+  /// Uses SchnorrGroup::standard() by default.
+  PedersenCommitmentScheme();
+  explicit PedersenCommitmentScheme(const SchnorrGroup& group) : group_(&group) {}
+
+  [[nodiscard]] std::string name() const override { return "pedersen"; }
+  [[nodiscard]] Opening make_opening(const Bytes& message, HmacDrbg& drbg) const override;
+  [[nodiscard]] Commitment commit(std::string_view label, const Opening& opening) const override;
+  [[nodiscard]] bool verify(std::string_view label, const Commitment& commitment,
+                            const Opening& opening) const override;
+  [[nodiscard]] std::size_t commitment_size() const override { return 8; }
+
+ private:
+  [[nodiscard]] Zq message_exponent(std::string_view label, const Bytes& message) const;
+
+  const SchnorrGroup* group_;
+};
+
+/// Factory by name ("hash" or "pedersen"); throws UsageError on unknown name.
+[[nodiscard]] std::unique_ptr<CommitmentScheme> make_commitment_scheme(std::string_view name);
+
+}  // namespace simulcast::crypto

@@ -1,0 +1,21 @@
+#include "crypto/field.h"
+
+namespace simulcast::crypto {
+
+Fp61 Fp61::pow(std::uint64_t exp) const noexcept {
+  Fp61 result = one();
+  Fp61 base = *this;
+  while (exp > 0) {
+    if (exp & 1) result *= base;
+    base *= base;
+    exp >>= 1;
+  }
+  return result;
+}
+
+Fp61 Fp61::inverse() const {
+  if (v_ == 0) throw UsageError("Fp61::inverse: zero");
+  return pow(kModulus - 2);
+}
+
+}  // namespace simulcast::crypto

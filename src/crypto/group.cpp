@@ -1,0 +1,78 @@
+#include "crypto/group.h"
+
+#include "base/error.h"
+#include "crypto/modmath.h"
+#include "crypto/sha256.h"
+
+namespace simulcast::crypto {
+
+namespace {
+
+// 62-bit safe prime p = 2q + 1, verified at first use by the SchnorrGroup
+// constructor; g = 2^2 generates the order-q quadratic-residue subgroup.
+constexpr std::uint64_t kStandardP = 3599462771108323727ULL;
+constexpr std::uint64_t kStandardQ = 1799731385554161863ULL;
+constexpr std::uint64_t kStandardG = 4ULL;
+
+}  // namespace
+
+SchnorrGroup::SchnorrGroup(std::uint64_t p, std::uint64_t q, std::uint64_t g)
+    : p_(p), q_(q), g_(g) {
+  if (!is_prime_u64(p)) throw UsageError("SchnorrGroup: p not prime");
+  if (!is_prime_u64(q)) throw UsageError("SchnorrGroup: q not prime");
+  if (p != 2 * q + 1) throw UsageError("SchnorrGroup: p != 2q + 1");
+  if (g <= 1 || g >= p || powmod(g, q, p) != 1)
+    throw UsageError("SchnorrGroup: g not an order-q element");
+  h_ = hash_to_group("simulcast/pedersen-h/v1");
+}
+
+const SchnorrGroup& SchnorrGroup::standard() {
+  static const SchnorrGroup group(kStandardP, kStandardQ, kStandardG);
+  return group;
+}
+
+std::uint64_t SchnorrGroup::exp_g(const Zq& e) const {
+  return exp(g_, e);
+}
+
+std::uint64_t SchnorrGroup::exp_h(const Zq& e) const {
+  return exp(h_, e);
+}
+
+std::uint64_t SchnorrGroup::exp(std::uint64_t base, const Zq& e) const {
+  if (e.modulus() != q_) throw UsageError("SchnorrGroup::exp: exponent modulus != q");
+  return powmod(base, e.value(), p_);
+}
+
+std::uint64_t SchnorrGroup::mul(std::uint64_t a, std::uint64_t b) const {
+  return mulmod(a, b, p_);
+}
+
+std::uint64_t SchnorrGroup::inv(std::uint64_t a) const {
+  return invmod(a, p_);
+}
+
+bool SchnorrGroup::is_element(std::uint64_t a) const {
+  return a != 0 && a < p_ && powmod(a, q_, p_) == 1;
+}
+
+std::uint64_t SchnorrGroup::hash_to_group(std::string_view label) const {
+  // Squaring any nonzero residue lands in the QR subgroup, which has prime
+  // order q, so the result generates it unless it equals 1.
+  std::uint64_t counter = 0;
+  for (;;) {
+    ByteWriter w;
+    w.str(label);
+    w.u64(p_);
+    w.u64(counter++);
+    const Digest d = sha256(w.data());
+    std::uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) x = (x << 8) | d[static_cast<std::size_t>(i)];
+    x %= p_;
+    if (x <= 1) continue;
+    const std::uint64_t candidate = mulmod(x, x, p_);
+    if (candidate != 1) return candidate;
+  }
+}
+
+}  // namespace simulcast::crypto

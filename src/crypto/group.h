@@ -1,0 +1,65 @@
+// Schnorr group: the order-q subgroup of quadratic residues of Z_p^* for a
+// safe prime p = 2q + 1.
+//
+// The paper's feasibility results (Claims 5.1, 5.3, Corollary 5.5) assume
+// enhanced trapdoor permutations; we instantiate the commitments the
+// protocols need on discrete-log-style assumptions in this group instead
+// (see DESIGN.md "Substitutions").  The standard parameters use a 62-bit
+// safe prime - simulation scale, checked prime at construction - so the
+// group is only *statistically* meaningful for our experiments, not a
+// production security level.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/field.h"
+#include "crypto/hmac.h"
+
+namespace simulcast::crypto {
+
+/// Group description.  Elements are canonical representatives in [1, p).
+class SchnorrGroup {
+ public:
+  /// Constructs and validates: p, q prime, p = 2q + 1, g a generator of the
+  /// order-q subgroup.  Throws UsageError on invalid parameters.
+  SchnorrGroup(std::uint64_t p, std::uint64_t q, std::uint64_t g);
+
+  /// The library-wide default group (62-bit safe prime, g = 4) with a
+  /// second generator h derived by hashing, so that log_g(h) is unknown
+  /// ("nothing up my sleeve") - required by Pedersen commitments.
+  [[nodiscard]] static const SchnorrGroup& standard();
+
+  [[nodiscard]] std::uint64_t p() const noexcept { return p_; }
+  [[nodiscard]] std::uint64_t q() const noexcept { return q_; }
+  [[nodiscard]] std::uint64_t g() const noexcept { return g_; }
+  [[nodiscard]] std::uint64_t h() const noexcept { return h_; }
+
+  /// g^e mod p for an exponent in Zq.
+  [[nodiscard]] std::uint64_t exp_g(const Zq& e) const;
+  /// h^e mod p.
+  [[nodiscard]] std::uint64_t exp_h(const Zq& e) const;
+  /// base^e mod p for a group element base.
+  [[nodiscard]] std::uint64_t exp(std::uint64_t base, const Zq& e) const;
+  /// Product of two group elements.
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  /// Inverse of a group element.
+  [[nodiscard]] std::uint64_t inv(std::uint64_t a) const;
+
+  /// True when `a` lies in the order-q subgroup (i.e. a^q = 1, a != 0).
+  [[nodiscard]] bool is_element(std::uint64_t a) const;
+
+  /// Uniform exponent in Zq.
+  [[nodiscard]] Zq sample_exponent(HmacDrbg& drbg) const { return Zq::sample(drbg, q_); }
+
+  /// Deterministically maps a label to a subgroup element by hashing and
+  /// squaring (used to derive h and any extra generators).
+  [[nodiscard]] std::uint64_t hash_to_group(std::string_view label) const;
+
+ private:
+  std::uint64_t p_;
+  std::uint64_t q_;
+  std::uint64_t g_;
+  std::uint64_t h_ = 0;
+};
+
+}  // namespace simulcast::crypto

@@ -1,0 +1,111 @@
+#include "crypto/hmac.h"
+
+#include "base/error.h"
+
+namespace simulcast::crypto {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& data) {
+  Bytes k = key;
+  if (k.size() > kSha256BlockSize) k = digest_bytes(sha256(k));
+  k.resize(kSha256BlockSize, 0);
+
+  Bytes inner_pad(kSha256BlockSize);
+  Bytes outer_pad(kSha256BlockSize);
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    inner_pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(inner_pad);
+  inner.update(data);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(outer_pad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Bytes hkdf(const Bytes& salt, const Bytes& ikm, std::string_view info, std::size_t length) {
+  if (length > 255 * kSha256DigestSize) throw UsageError("hkdf: output too long");
+  const Digest prk = hmac_sha256(salt, ikm);
+  const Bytes prk_bytes = digest_bytes(prk);
+
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = digest_bytes(hmac_sha256(prk_bytes, block));
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+HmacDrbg::HmacDrbg(const Bytes& seed_material)
+    : key_(kSha256DigestSize, 0x00), value_(kSha256DigestSize, 0x01) {
+  update(seed_material);
+}
+
+HmacDrbg::HmacDrbg(std::uint64_t seed, std::string_view personalization)
+    : HmacDrbg([&] {
+        ByteWriter w;
+        w.u64(seed);
+        w.str(personalization);
+        return w.take();
+      }()) {}
+
+void HmacDrbg::update(const Bytes& material) {
+  // K = HMAC(K, V || 0x00 || material); V = HMAC(K, V)
+  Bytes block = value_;
+  block.push_back(0x00);
+  block.insert(block.end(), material.begin(), material.end());
+  key_ = digest_bytes(hmac_sha256(key_, block));
+  value_ = digest_bytes(hmac_sha256(key_, value_));
+  if (!material.empty()) {
+    block = value_;
+    block.push_back(0x01);
+    block.insert(block.end(), material.begin(), material.end());
+    key_ = digest_bytes(hmac_sha256(key_, block));
+    value_ = digest_bytes(hmac_sha256(key_, value_));
+  }
+}
+
+Bytes HmacDrbg::generate(std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  while (out.size() < length) {
+    value_ = digest_bytes(hmac_sha256(key_, value_));
+    const std::size_t take = std::min(value_.size(), length - out.size());
+    out.insert(out.end(), value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+  return out;
+}
+
+std::uint64_t HmacDrbg::next_u64() {
+  const Bytes b = generate(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  return v;
+}
+
+std::uint64_t HmacDrbg::below(std::uint64_t bound) {
+  if (bound == 0) throw UsageError("HmacDrbg::below: bound == 0");
+  // Rejection sampling on the top multiple of bound.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  for (;;) {
+    const std::uint64_t v = next_u64();
+    if (v < limit) return v % bound;
+  }
+}
+
+void HmacDrbg::reseed(const Bytes& material) {
+  update(material);
+}
+
+}  // namespace simulcast::crypto

@@ -1,0 +1,52 @@
+// HMAC-SHA256 (RFC 2104), HKDF (RFC 5869) and HMAC-DRBG (NIST SP 800-90A).
+//
+// HMAC-DRBG supplies protocol randomness wherever a party needs bytes that
+// must be unpredictable to the adversary (commitment blinding, VSS
+// polynomial coefficients, signature keys).  It is deterministic given its
+// seed, which keeps whole protocol executions replayable.
+#pragma once
+
+#include <string_view>
+
+#include "base/bytes.h"
+#include "crypto/sha256.h"
+
+namespace simulcast::crypto {
+
+/// HMAC-SHA256 of `data` under `key`.
+[[nodiscard]] Digest hmac_sha256(const Bytes& key, const Bytes& data);
+
+/// HKDF-Extract-then-Expand producing `length` bytes (length <= 255*32).
+[[nodiscard]] Bytes hkdf(const Bytes& salt, const Bytes& ikm, std::string_view info,
+                         std::size_t length);
+
+/// Deterministic random bit generator per SP 800-90A (HMAC variant, no
+/// prediction-resistance calls — reseeding is explicit).
+class HmacDrbg {
+ public:
+  /// Instantiates from entropy || nonce || personalization.
+  explicit HmacDrbg(const Bytes& seed_material);
+
+  /// Convenience: seed from a 64-bit seed plus a personalization string.
+  HmacDrbg(std::uint64_t seed, std::string_view personalization);
+
+  /// Generates `length` pseudorandom bytes.
+  [[nodiscard]] Bytes generate(std::size_t length);
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound) by rejection sampling.  bound > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+  /// Mixes extra entropy into the state.
+  void reseed(const Bytes& material);
+
+ private:
+  void update(const Bytes& material);
+
+  Bytes key_;
+  Bytes value_;
+};
+
+}  // namespace simulcast::crypto

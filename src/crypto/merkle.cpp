@@ -1,0 +1,59 @@
+#include "crypto/merkle.h"
+
+#include "base/error.h"
+
+namespace simulcast::crypto {
+
+Digest MerkleTree::hash_leaf(const Bytes& leaf) {
+  return sha256_tagged("simulcast/merkle-leaf/v1", leaf);
+}
+
+Digest MerkleTree::hash_node(const Digest& left, const Digest& right) {
+  ByteWriter w;
+  w.str("simulcast/merkle-node/v1");
+  w.bytes(digest_bytes(left));
+  w.bytes(digest_bytes(right));
+  return sha256(w.data());
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) : leaf_count_(leaves.size()) {
+  if (leaves.empty()) throw UsageError("MerkleTree: no leaves");
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) level.push_back(hash_leaf(leaf));
+  // Pad to a power of two by repeating the last hash.
+  while ((level.size() & (level.size() - 1)) != 0) level.push_back(level.back());
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const std::vector<Digest>& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2)
+      next.push_back(hash_node(prev[i], prev[i + 1]));
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerklePath MerkleTree::path(std::size_t index) const {
+  if (index >= leaf_count_) throw UsageError("MerkleTree::path: index out of range");
+  MerklePath p;
+  p.leaf_index = index;
+  std::size_t i = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    p.siblings.push_back(levels_[level][i ^ 1]);
+    i >>= 1;
+  }
+  return p;
+}
+
+bool MerkleTree::verify(const Digest& root, const Bytes& leaf, const MerklePath& path) {
+  Digest current = hash_leaf(leaf);
+  std::size_t i = path.leaf_index;
+  for (const Digest& sibling : path.siblings) {
+    current = (i & 1) ? hash_node(sibling, current) : hash_node(current, sibling);
+    i >>= 1;
+  }
+  return digest_equal(current, root);
+}
+
+}  // namespace simulcast::crypto

@@ -1,0 +1,48 @@
+// Merkle hash trees.
+//
+// Used by the many-time hash-based signature scheme (crypto/lamport.h) to
+// authenticate a batch of one-time public keys under a single root, and by
+// tests as a standalone integrity structure.  Leaves are hashed with a
+// domain tag distinct from interior nodes (second-preimage hardening).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/bytes.h"
+#include "crypto/sha256.h"
+
+namespace simulcast::crypto {
+
+/// Authentication path: sibling digests from a leaf up to the root.
+struct MerklePath {
+  std::size_t leaf_index = 0;
+  std::vector<Digest> siblings;
+};
+
+class MerkleTree {
+ public:
+  /// Builds a tree over `leaves` (each hashed with the leaf tag).  The leaf
+  /// count is padded up to a power of two by repeating the final leaf hash.
+  /// Throws UsageError on an empty leaf set.
+  explicit MerkleTree(const std::vector<Bytes>& leaves);
+
+  [[nodiscard]] const Digest& root() const noexcept { return levels_.back().front(); }
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaf_count_; }
+
+  /// Authentication path for leaf `index`.
+  [[nodiscard]] MerklePath path(std::size_t index) const;
+
+  /// Verifies `leaf` against `root` using `path`.
+  [[nodiscard]] static bool verify(const Digest& root, const Bytes& leaf,
+                                   const MerklePath& path);
+
+ private:
+  static Digest hash_leaf(const Bytes& leaf);
+  static Digest hash_node(const Digest& left, const Digest& right);
+
+  std::size_t leaf_count_;
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+};
+
+}  // namespace simulcast::crypto

@@ -1,0 +1,72 @@
+#include "crypto/modmath.h"
+
+#include "base/error.h"
+
+namespace simulcast::crypto {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) noexcept {
+  if (m == 1) return 0;
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t invmod(std::uint64_t a, std::uint64_t m) {
+  // Extended Euclid on signed 128-bit accumulators.
+  using i128 = __int128;
+  i128 old_r = static_cast<i128>(a % m), r = static_cast<i128>(m);
+  i128 old_s = 1, s = 0;
+  while (r != 0) {
+    const i128 quotient = old_r / r;
+    i128 tmp = old_r - quotient * r;
+    old_r = r;
+    r = tmp;
+    tmp = old_s - quotient * s;
+    old_s = s;
+    s = tmp;
+  }
+  if (old_r != 1) throw UsageError("invmod: argument not invertible");
+  i128 result = old_s % static_cast<i128>(m);
+  if (result < 0) result += static_cast<i128>(m);
+  return static_cast<std::uint64_t>(result);
+}
+
+bool is_prime_u64(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                          31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL,
+                          31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+}  // namespace simulcast::crypto

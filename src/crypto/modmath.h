@@ -1,0 +1,27 @@
+// 64-bit modular arithmetic and primality testing.
+//
+// These are the scalar kernels beneath the Schnorr group (crypto/group.h)
+// and the runtime-modulus field Zq (crypto/field.h).  Products go through
+// unsigned __int128, so every modulus up to 2^63 is supported.
+#pragma once
+
+#include <cstdint>
+
+namespace simulcast::crypto {
+
+/// (a * b) mod m via 128-bit intermediate.  Precondition: m != 0.
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept;
+
+/// (base ^ exp) mod m by square-and-multiply.  Precondition: m != 0.
+[[nodiscard]] std::uint64_t powmod(std::uint64_t base, std::uint64_t exp,
+                                   std::uint64_t m) noexcept;
+
+/// Modular inverse of a mod m via extended Euclid; throws simulcast::UsageError
+/// when gcd(a, m) != 1.
+[[nodiscard]] std::uint64_t invmod(std::uint64_t a, std::uint64_t m);
+
+/// Deterministic Miller-Rabin, correct for all 64-bit inputs (fixed witness
+/// set {2,3,5,7,11,13,17,19,23,29,31,37}).
+[[nodiscard]] bool is_prime_u64(std::uint64_t n) noexcept;
+
+}  // namespace simulcast::crypto

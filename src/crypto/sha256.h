@@ -1,0 +1,62 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the root of trust for the whole crypto substrate: hash
+// commitments, HMAC/DRBG, Lamport one-time signatures and Merkle trees are
+// all built on it.  The implementation is a straightforward, portable
+// streaming compressor; it is not constant-time (we are a protocol
+// simulator, not a production TLS stack) but it is bit-exact against the
+// NIST test vectors (see tests/crypto/sha256_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "base/bytes.h"
+
+namespace simulcast::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Streaming SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorbs `len` bytes at `data`.
+  void update(const std::uint8_t* data, std::size_t len) noexcept;
+  void update(const Bytes& data) noexcept { update(data.data(), data.size()); }
+  void update(std::string_view s) noexcept {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finishes and returns the digest.  The context must not be reused.
+  [[nodiscard]] Digest finish() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kSha256BlockSize> buffer_;
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot hash.
+[[nodiscard]] Digest sha256(const Bytes& data) noexcept;
+[[nodiscard]] Digest sha256(std::string_view data) noexcept;
+
+/// Domain-separated hash: sha256(len(domain) || domain || data).  All
+/// protocol-internal hashing goes through this to keep uses disjoint.
+[[nodiscard]] Digest sha256_tagged(std::string_view domain, const Bytes& data);
+
+/// Digest as a Bytes buffer (convenience for serializers).
+[[nodiscard]] Bytes digest_bytes(const Digest& d);
+
+/// Constant-time digest comparison.
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b) noexcept;
+
+}  // namespace simulcast::crypto

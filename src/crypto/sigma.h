@@ -1,0 +1,49 @@
+// Interactive sigma protocol: proof of knowledge of a Pedersen
+// representation, i.e. of (m, r) such that C = g^m h^r.
+//
+// The Chor-Rabin protocol (protocols/chor_rabin.h) schedules these proofs in
+// O(log n) batches: every dealer proves knowledge of the constant term of
+// its Pedersen-VSS commitment vector before any value is revealed, so a
+// corrupted party that copied or mauled someone else's commitments is
+// disqualified during the commit phase.  The three moves are
+//   prover:  A = g^u h^v                         (fresh u, v)
+//   public:  challenge c in Zq                   (joint coin, fixed after A)
+//   prover:  z1 = u + c*m,  z2 = v + c*r
+//   check:   g^z1 h^z2 == A * C^c
+// Special soundness: two accepting transcripts with distinct challenges for
+// the same A yield the witness, so a prover that commits to A before seeing
+// c knows (m, r) except with probability 1/q.
+#pragma once
+
+#include "crypto/field.h"
+#include "crypto/group.h"
+#include "crypto/hmac.h"
+
+namespace simulcast::crypto {
+
+/// Prover's first move plus the secrets needed for the response.
+struct SigmaCommitment {
+  std::uint64_t a = 0;  ///< A = g^u h^v (public)
+  Zq u;                 ///< secret nonce
+  Zq v;                 ///< secret nonce
+};
+
+/// Prover's third move.
+struct SigmaResponse {
+  std::uint64_t a = 0;  ///< echo of A for self-contained verification
+  Zq z1;
+  Zq z2;
+};
+
+/// First move: sample nonces and form A.
+[[nodiscard]] SigmaCommitment sigma_commit(const SchnorrGroup& group, HmacDrbg& drbg);
+
+/// Third move: respond to challenge c with witness (m, r).
+[[nodiscard]] SigmaResponse sigma_respond(const SigmaCommitment& commitment, const Zq& challenge,
+                                          const Zq& m, const Zq& r);
+
+/// Verifier check: g^z1 h^z2 == A * C^c.
+[[nodiscard]] bool sigma_verify(const SchnorrGroup& group, std::uint64_t statement_c,
+                                const Zq& challenge, const SigmaResponse& response);
+
+}  // namespace simulcast::crypto

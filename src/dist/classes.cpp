@@ -1,0 +1,141 @@
+#include "dist/classes.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/error.h"
+
+namespace simulcast::dist {
+
+Membership is_product(const stats::ExactDist& dist, double tau) {
+  const stats::ExactDist candidate = dist.product_of_marginals();
+  const double tv = dist.tv_distance(candidate);
+  Membership m;
+  m.member = tv <= tau;
+  m.score = tv;
+  std::ostringstream os;
+  os << "TV(D, product-of-marginals) = " << tv;
+  m.witness = os.str();
+  return m;
+}
+
+Membership is_locally_independent(const stats::ExactDist& dist, double tau) {
+  const std::size_t n = dist.bits();
+  if (n > 12) throw UsageError("is_locally_independent: n > 12 (exhaustive over subsets)");
+  Membership m;
+  m.member = true;
+  m.score = 0.0;
+  m.witness = "all conditional gaps within tolerance";
+  // All nonempty proper subsets B of [n].
+  for (std::size_t mask = 1; mask + 1 < (std::size_t{1} << n); ++mask) {
+    std::vector<std::size_t> b_set;
+    for (std::size_t i = 0; i < n; ++i)
+      if ((mask >> i) & 1u) b_set.push_back(i);
+    const std::vector<std::size_t> rest = complement(n, b_set);
+    for (std::size_t u_bits = 0; u_bits < (std::size_t{1} << b_set.size()); ++u_bits) {
+      const BitVec u(b_set.size(), u_bits);
+      const double unconditional = dist.marginal(b_set, u);
+      for (std::size_t w_bits = 0; w_bits < (std::size_t{1} << rest.size()); ++w_bits) {
+        const BitVec w(rest.size(), w_bits);
+        const auto cond = dist.conditional(b_set, u, rest, w);
+        if (!cond.has_value()) continue;  // zero-probability conditioning event
+        const double gap = std::abs(*cond - unconditional);
+        if (gap > m.score) {
+          m.score = gap;
+          std::ostringstream os;
+          os << "B={";
+          for (std::size_t i = 0; i < b_set.size(); ++i) os << (i ? "," : "") << b_set[i];
+          os << "}, u=" << u.to_string() << ", w=" << w.to_string() << ", gap=" << gap;
+          m.witness = os.str();
+        }
+      }
+    }
+  }
+  m.member = m.score <= tau;
+  return m;
+}
+
+std::vector<Distinguisher> default_distinguishers(std::size_t n) {
+  std::vector<Distinguisher> family;
+  for (std::size_t i = 0; i < n; ++i) {
+    family.push_back({"bit:" + std::to_string(i),
+                      [i](const BitVec& v) { return v.get(i); }});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      family.push_back({"xor:" + std::to_string(i) + "," + std::to_string(j),
+                        [i, j](const BitVec& v) { return v.get(i) != v.get(j); }});
+      family.push_back({"and:" + std::to_string(i) + "," + std::to_string(j),
+                        [i, j](const BitVec& v) { return v.get(i) && v.get(j); }});
+    }
+  }
+  family.push_back({"parity", [](const BitVec& v) { return v.parity(); }});
+  family.push_back({"majority", [n](const BitVec& v) {
+                      return static_cast<std::size_t>(v.popcount()) * 2 > n;
+                    }});
+  return family;
+}
+
+Membership is_computationally_independent(const stats::ExactDist& dist,
+                                          const std::vector<Distinguisher>& family, double tau) {
+  const stats::ExactDist candidate = dist.product_of_marginals();
+  Membership m;
+  m.member = true;
+  m.score = 0.0;
+  m.witness = "no distinguisher in the family separates D from its marginal product";
+  for (const Distinguisher& d : family) {
+    double p_dist = 0.0;
+    double p_candidate = 0.0;
+    for (std::size_t v = 0; v < dist.raw_pmf().size(); ++v) {
+      const BitVec vec(dist.bits(), v);
+      if (d.test(vec)) {
+        p_dist += dist.raw_pmf()[v];
+        p_candidate += candidate.raw_pmf()[v];
+      }
+    }
+    const double gap = std::abs(p_dist - p_candidate);
+    if (gap > m.score) {
+      m.score = gap;
+      std::ostringstream os;
+      os << "distinguisher '" << d.name << "' advantage " << gap;
+      m.witness = os.str();
+    }
+  }
+  m.member = m.score <= tau;
+  return m;
+}
+
+Membership is_statistically_singleton(const stats::ExactDist& dist, double tau) {
+  // Closest singleton is the mode.
+  double best_mass = 0.0;
+  std::size_t mode = 0;
+  for (std::size_t v = 0; v < dist.raw_pmf().size(); ++v) {
+    if (dist.raw_pmf()[v] > best_mass) {
+      best_mass = dist.raw_pmf()[v];
+      mode = v;
+    }
+  }
+  const double tv = 1.0 - best_mass;  // TV to the point mass at the mode
+  Membership m;
+  m.member = tv <= tau;
+  m.score = tv;
+  std::ostringstream os;
+  os << "TV to singleton at " << BitVec(dist.bits(), mode).to_string() << " = " << tv;
+  m.witness = os.str();
+  return m;
+}
+
+ClassReport classify(const InputEnsemble& ensemble, double tau) {
+  const auto exact = ensemble.exact();
+  if (!exact) throw UsageError("classify: ensemble lacks an exact pmf");
+  ClassReport report;
+  report.ensemble = ensemble.name();
+  report.product = is_product(*exact, tau);
+  report.locally_independent = is_locally_independent(*exact, tau);
+  report.computationally_independent =
+      is_computationally_independent(*exact, default_distinguishers(exact->bits()), tau);
+  report.singleton = is_statistically_singleton(*exact, tau);
+  return report;
+}
+
+}  // namespace simulcast::dist

@@ -1,0 +1,83 @@
+// Distribution-class membership (Section 5 of the paper).
+//
+// The paper characterizes each independence definition by its class of
+// achievable input distributions:
+//   D(Sb) = All                        (Section 5.3)
+//   D(CR) = Ψ_{C,n}: ensembles computationally close to a product of
+//           independent per-bit distributions (Section 5.1)
+//   D(G)  = Ψ_{L,n}: locally independent ensembles (Section 5.2)
+// plus the auxiliary classes Singleton and Uniform, with
+//   Singleton, Uniform ⊊ D(G) ⊊ D(CR) ⊊ D(Sb)        (Claim 5.6).
+//
+// At simulation scale, "negligible in k" becomes a tolerance tau, and
+// computational closeness is closeness with respect to an explicit finite
+// family of distinguishers (predicate tests), which is the honest finite
+// analogue of poly-time indistinguishability: a PRF-correlated ensemble is
+// statistically far from every product distribution yet no distinguisher in
+// the family (none of which knows the PRF key) can tell - so it is
+// "computationally independent" here exactly as in the paper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/ensembles.h"
+#include "stats/empirical.h"
+
+namespace simulcast::dist {
+
+/// Class-membership verdict with the witness that decided it.
+struct Membership {
+  bool member = false;
+  double score = 0.0;    ///< the quantity compared against the tolerance
+  std::string witness;   ///< human-readable reason (e.g. violating B, u, w)
+};
+
+/// Exactly-a-product test: TV distance between the pmf and the product of
+/// its marginals, compared to `tau`.  (For distributions over {0,1}^n the
+/// product of marginals is the unique candidate product distribution: any
+/// product distribution at TV distance d from D has marginals within d of
+/// D's, so TV(D, product-of-marginals) <= 3d; the test is tight up to that
+/// constant and exact for tau = 0.)
+[[nodiscard]] Membership is_product(const stats::ExactDist& dist, double tau);
+
+/// Local independence (Section 5.2): for every subset B, every u over B and
+/// every w over the complement with positive mass,
+/// |Pr[D_B = u | D_B̄ = w] - Pr[D_B = u]| <= tau.
+/// Exhaustive over all 2^n subsets; n <= 12 recommended.
+[[nodiscard]] Membership is_locally_independent(const stats::ExactDist& dist, double tau);
+
+/// A distinguisher family member: maps a sample to a bit.
+struct Distinguisher {
+  std::string name;
+  std::function<bool(const BitVec&)> test;
+};
+
+/// The default finite distinguisher family: per-bit projections, pairwise
+/// XORs/ANDs, global parity, threshold, and per-value indicators for small n.
+[[nodiscard]] std::vector<Distinguisher> default_distinguishers(std::size_t n);
+
+/// Computational independence relative to a distinguisher family: member
+/// iff some product distribution agrees with `dist` on every distinguisher's
+/// acceptance probability within tau.  The candidate product is the product
+/// of marginals (matching first moments, which per-bit projections pin down).
+[[nodiscard]] Membership is_computationally_independent(
+    const stats::ExactDist& dist, const std::vector<Distinguisher>& family, double tau);
+
+/// Triviality for a definition in the paper's Section 6 sense: a singleton
+/// (up to tau in TV) is trivial for CR.
+[[nodiscard]] Membership is_statistically_singleton(const stats::ExactDist& dist, double tau);
+
+/// Full class report for one ensemble, as printed by experiment E1.
+struct ClassReport {
+  std::string ensemble;
+  Membership product;
+  Membership locally_independent;   ///< D(G) membership
+  Membership computationally_independent;  ///< D(CR) membership
+  Membership singleton;
+};
+
+[[nodiscard]] ClassReport classify(const InputEnsemble& ensemble, double tau);
+
+}  // namespace simulcast::dist

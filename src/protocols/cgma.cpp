@@ -1,0 +1,24 @@
+#include "protocols/cgma.h"
+
+namespace simulcast::protocols {
+
+VssSchedule CgmaProtocol::schedule(std::size_t n) {
+  VssSchedule s;
+  s.n = n;
+  s.threshold = vss_threshold(n);
+  s.deal_round.resize(n);
+  for (std::size_t d = 0; d < n; ++d) s.deal_round[d] = d;  // sequential deals
+  s.complaint_round = n;
+  s.justify_round = n + 1;
+  s.reconstruct_round = n + 2;
+  s.total_rounds = n + 3;
+  s.validate();
+  return s;
+}
+
+std::unique_ptr<sim::Party> CgmaProtocol::make_party(sim::PartyId /*id*/, bool input,
+                                                     const sim::ProtocolParams& params) const {
+  return std::make_unique<VssProtocolParty>(schedule(params.n), input);
+}
+
+}  // namespace simulcast::protocols

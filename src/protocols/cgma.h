@@ -1,0 +1,30 @@
+// CGMA-style simultaneous broadcast (Chor-Goldwasser-Micali-Awerbuch,
+// FOCS 1985 [7]): the original, linear-round protocol.
+//
+// The paper's Section 1 motivates the follow-up work by this protocol's
+// round complexity: "(for each simultaneous broadcast operation) a number
+// of rounds that is linear in the number of parties".  We reproduce that
+// shape by scheduling the verifiable-secret-sharing deals *sequentially* -
+// dealer d deals in round d - followed by the common complain / justify /
+// reveal tail, for n + 3 rounds total.  Tolerates t < n/2 corruptions.
+#pragma once
+
+#include "protocols/vss_core.h"
+
+namespace simulcast::protocols {
+
+class CgmaProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "cgma"; }
+  [[nodiscard]] std::size_t rounds(std::size_t n) const override { return n + 3; }
+  [[nodiscard]] std::size_t max_corruptions(std::size_t n) const override {
+    return vss_threshold(n);
+  }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+
+  /// The schedule, exposed so adversaries and tests can align with it.
+  [[nodiscard]] static VssSchedule schedule(std::size_t n);
+};
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,37 @@
+#include "protocols/chor_rabin.h"
+
+namespace simulcast::protocols {
+
+std::size_t ChorRabinProtocol::pok_batches(std::size_t n) {
+  std::size_t batches = 1;
+  while ((std::size_t{1} << batches) < n) ++batches;
+  return batches;
+}
+
+VssSchedule ChorRabinProtocol::schedule(std::size_t n) {
+  const std::size_t batches = pok_batches(n);
+  VssSchedule s;
+  s.n = n;
+  s.threshold = vss_threshold(n);
+  s.deal_round.assign(n, 0);
+  std::vector<PokRounds> pok(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    // Dealer d proves in batch floor(d * batches / n): an even split.
+    const std::size_t batch = d * batches / n;
+    pok[d] = {1 + 3 * batch, 2 + 3 * batch, 3 + 3 * batch};
+  }
+  s.pok = std::move(pok);
+  s.complaint_round = 1 + 3 * batches;
+  s.justify_round = s.complaint_round + 1;
+  s.reconstruct_round = s.justify_round + 1;
+  s.total_rounds = s.reconstruct_round + 1;
+  s.validate();
+  return s;
+}
+
+std::unique_ptr<sim::Party> ChorRabinProtocol::make_party(sim::PartyId /*id*/, bool input,
+                                                          const sim::ProtocolParams& params) const {
+  return std::make_unique<VssProtocolParty>(schedule(params.n), input);
+}
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,37 @@
+// Chor-Rabin-style simultaneous broadcast (PODC 1987 [8]): "achieving
+// independence in logarithmic number of rounds".
+//
+// All parties deal their Pedersen-VSS commitments in parallel (round 0).
+// Then every dealer proves *knowledge* of its committed secret with an
+// interactive sigma protocol (crypto/sigma.h); the proofs are scheduled in
+// ceil(log2 n) batches of three rounds each - the logarithmic schedule that
+// gives the protocol its name in the paper's narrative.  A dealer whose
+// proof fails is disqualified during the commit phase, before anything is
+// revealed, which neutralizes commitment-copying and mauling.  The common
+// complain / justify / reveal tail completes the protocol:
+//   rounds = 1 + 3*ceil(log2 n) + 3.
+// Tolerates t < n/2 corruptions.
+#pragma once
+
+#include "protocols/vss_core.h"
+
+namespace simulcast::protocols {
+
+class ChorRabinProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "chor-rabin"; }
+  [[nodiscard]] std::size_t rounds(std::size_t n) const override {
+    return 4 + 3 * pok_batches(n);
+  }
+  [[nodiscard]] std::size_t max_corruptions(std::size_t n) const override {
+    return vss_threshold(n);
+  }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+
+  /// ceil(log2 n), at least 1.
+  [[nodiscard]] static std::size_t pok_batches(std::size_t n);
+  [[nodiscard]] static VssSchedule schedule(std::size_t n);
+};
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,23 @@
+#include "protocols/gennaro.h"
+
+namespace simulcast::protocols {
+
+VssSchedule GennaroProtocol::schedule(std::size_t n) {
+  VssSchedule s;
+  s.n = n;
+  s.threshold = vss_threshold(n);
+  s.deal_round.assign(n, 0);  // everyone deals at once
+  s.complaint_round = 1;
+  s.justify_round = 2;
+  s.reconstruct_round = 3;
+  s.total_rounds = 4;
+  s.validate();
+  return s;
+}
+
+std::unique_ptr<sim::Party> GennaroProtocol::make_party(sim::PartyId /*id*/, bool input,
+                                                        const sim::ProtocolParams& params) const {
+  return std::make_unique<VssProtocolParty>(schedule(params.n), input);
+}
+
+}  // namespace simulcast::protocols

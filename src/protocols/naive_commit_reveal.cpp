@@ -1,0 +1,107 @@
+#include "protocols/naive_commit_reveal.h"
+
+#include <map>
+#include <optional>
+
+#include "base/error.h"
+#include "crypto/commitment.h"
+
+namespace simulcast::protocols {
+
+namespace {
+
+const crypto::CommitmentScheme& default_scheme() {
+  static const crypto::HashCommitmentScheme scheme;
+  return scheme;
+}
+
+class NcrParty final : public sim::Party {
+ public:
+  NcrParty(bool input, const crypto::CommitmentScheme& scheme) : input_(input), scheme_(&scheme) {}
+
+  void begin(sim::PartyContext& ctx) override {
+    n_ = ctx.n();
+    commitments_.assign(n_, std::nullopt);
+    result_ = BitVec(n_);
+  }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                sim::PartyContext& ctx) override {
+    if (round == 0) {
+      const Bytes message{input_ ? std::uint8_t{1} : std::uint8_t{0}};
+      opening_ = scheme_->make_opening(message, ctx.drbg());
+      const crypto::Commitment c = scheme_->commit(ncr_label(ctx.id()), *opening_);
+      commitments_[ctx.id()] = c;
+      ctx.broadcast(kNcrCommitTag, c.value);
+      return;
+    }
+    // round == 1: record commitments, broadcast opening.
+    record_commitments(inbox);
+    ByteWriter w;
+    w.bytes(opening_->message);
+    w.bytes(opening_->randomness);
+    ctx.broadcast(kNcrOpenTag, w.take());
+    result_.set(ctx.id(), input_);
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+    for (const sim::Message& m : inbox) {
+      if (m.to != sim::kBroadcast) continue;  // channel binding (consistency)
+      if (m.tag != kNcrOpenTag || m.from >= n_ || m.round != 1) continue;
+      if (!commitments_[m.from].has_value()) continue;
+      if (opened_[m.from]) continue;
+      opened_[m.from] = true;
+      try {
+        ByteReader r(m.payload);
+        crypto::Opening op;
+        op.message = r.bytes();
+        op.randomness = r.bytes();
+        if (op.message.size() != 1 || op.message[0] > 1) continue;
+        if (!scheme_->verify(ncr_label(m.from), *commitments_[m.from], op)) continue;
+        result_.set(m.from, op.message[0] == 1);
+      } catch (const Error&) {
+        // Malformed opening: coordinate stays at the default 0.
+      }
+    }
+    done_ = true;
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    if (!done_) throw ProtocolError("NcrParty: output before finish");
+    return result_;
+  }
+
+ private:
+  void record_commitments(const std::vector<sim::Message>& inbox) {
+    for (const sim::Message& m : inbox) {
+      if (m.to != sim::kBroadcast) continue;  // channel binding (consistency)
+      if (m.tag != kNcrCommitTag || m.from >= n_ || m.round != 0) continue;
+      if (commitments_[m.from].has_value()) continue;
+      commitments_[m.from] = crypto::Commitment{m.payload};
+    }
+  }
+
+  bool input_;
+  const crypto::CommitmentScheme* scheme_;
+  std::size_t n_ = 0;
+  std::optional<crypto::Opening> opening_;
+  std::vector<std::optional<crypto::Commitment>> commitments_;
+  std::map<sim::PartyId, bool> opened_;
+  BitVec result_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::string ncr_label(sim::PartyId id) {
+  return "simulcast/ncr/party:" + std::to_string(id);
+}
+
+std::unique_ptr<sim::Party> NaiveCommitRevealProtocol::make_party(
+    sim::PartyId /*id*/, bool input, const sim::ProtocolParams& params) const {
+  const crypto::CommitmentScheme& scheme =
+      params.commitments != nullptr ? *params.commitments : default_scheme();
+  return std::make_unique<NcrParty>(input, scheme);
+}
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,37 @@
+// Naive commit-then-reveal: the textbook 2-round attempt at simultaneous
+// broadcast, kept as a negative control.
+//
+// Round 0: every party broadcasts a commitment to its bit (label-bound to
+// its identity, so plain copying fails).  Round 1: every party broadcasts
+// the opening; an invalid or missing opening is announced as the default 0.
+//
+// The commit phase hides and binds, but the committed value is NOT
+// recoverable without the committer's cooperation - so a rushing corrupted
+// party can watch the honest openings in round 1 and *selectively abort*:
+// reveal (announcing its committed bit) or stay silent (announcing 0)
+// depending on what the honest parties revealed.  That correlates its
+// announced value with the honest ones and violates both G- and
+// CR-independence (adversary/selective_abort.h, experiment E4b).  The VSS
+// protocols avoid this precisely because the honest majority can
+// reconstruct a committed bit without the committer.
+#pragma once
+
+#include "sim/protocol.h"
+
+namespace simulcast::protocols {
+
+inline constexpr const char* kNcrCommitTag = "ncr-commit";
+inline constexpr const char* kNcrOpenTag = "ncr-open";
+
+/// The commitment label for party `id` (binds identity into the commitment).
+[[nodiscard]] std::string ncr_label(sim::PartyId id);
+
+class NaiveCommitRevealProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "naive-commit-reveal"; }
+  [[nodiscard]] std::size_t rounds(std::size_t /*n*/) const override { return 2; }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+};
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,70 @@
+#include "protocols/seq_broadcast.h"
+
+#include <optional>
+#include <vector>
+
+namespace simulcast::protocols {
+
+namespace {
+
+class SeqParty final : public sim::Party {
+ public:
+  explicit SeqParty(bool input) : input_(input) {}
+
+  void begin(sim::PartyContext& ctx) override {
+    n_ = ctx.n();
+    heard_.assign(n_, std::nullopt);
+  }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                sim::PartyContext& ctx) override {
+    record(inbox);
+    if (round == ctx.id()) {
+      heard_[ctx.id()] = input_;  // broadcasts are not self-delivered
+      ctx.broadcast(kSeqAnnounceTag, Bytes{input_ ? std::uint8_t{1} : std::uint8_t{0}});
+    }
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+    record(inbox);
+    done_ = true;
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    BitVec b(n_);
+    if (done_)
+      for (std::size_t i = 0; i < n_; ++i) b.set(i, heard_[i].value_or(false));
+    return b;
+  }
+
+ private:
+  void record(const std::vector<sim::Message>& inbox) {
+    for (const sim::Message& m : inbox) {
+      // Only the scheduled sender's announcement for its own round counts;
+      // anything else (wrong round, wrong size, duplicate) is ignored and
+      // the sender's coordinate falls back to the default 0 (footnote 2).
+      // Announcements must arrive on the broadcast channel: accepting a
+      // point-to-point copy would let an adversary show different
+      // announcements to different parties and break consistency.
+      if (m.to != sim::kBroadcast) continue;
+      if (m.tag != kSeqAnnounceTag || m.payload.size() != 1) continue;
+      if (m.from >= n_ || m.round != m.from) continue;
+      if (heard_[m.from].has_value()) continue;
+      heard_[m.from] = m.payload[0] != 0;
+    }
+  }
+
+  bool input_;
+  std::size_t n_ = 0;
+  std::vector<std::optional<bool>> heard_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Party> SeqBroadcastProtocol::make_party(
+    sim::PartyId /*id*/, bool input, const sim::ProtocolParams& /*params*/) const {
+  return std::make_unique<SeqParty>(input);
+}
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,28 @@
+// The "simplest instantiation" of parallel broadcast from Section 3.2 of
+// the paper: n sequential single-sender broadcasts, party i announcing in
+// round i.
+//
+// It satisfies consistency and correctness but deliberately NOT
+// independence: a rushing corrupted party scheduled after an honest victim
+// has already heard the victim's bit and can copy it
+// (adversary/copy_last.h), which is exactly the attack the paper uses to
+// motivate simultaneous broadcast.  This protocol is the negative control
+// in experiments E5/E6 and the baseline in E9.
+#pragma once
+
+#include "sim/protocol.h"
+
+namespace simulcast::protocols {
+
+/// Message tag used by the per-round announcements (payload: 1 byte, 0/1).
+inline constexpr const char* kSeqAnnounceTag = "seq-announce";
+
+class SeqBroadcastProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "seq-broadcast"; }
+  [[nodiscard]] std::size_t rounds(std::size_t n) const override { return n; }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+};
+
+}  // namespace simulcast::protocols

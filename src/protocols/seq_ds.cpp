@@ -1,0 +1,71 @@
+#include "protocols/seq_ds.h"
+
+#include "base/error.h"
+
+namespace simulcast::protocols {
+
+namespace {
+
+class SeqDsParty final : public sim::Party {
+ public:
+  SeqDsParty(sim::PartyId id, bool input, std::size_t t, std::size_t n)
+      : t_(t), n_(n), block_len_(t + 2) {
+    sim::ProtocolParams params;
+    params.n = n;
+    blocks_.reserve(n);
+    for (sim::PartyId sender = 0; sender < n; ++sender) {
+      const broadcast::DolevStrongBroadcast instance(sender, t_);
+      blocks_.push_back(instance.make_party(id, input, params));
+    }
+  }
+
+  void begin(sim::PartyContext& ctx) override {
+    for (auto& block : blocks_) block->begin(ctx);
+    // begin() must not leave stray messages; the DS machine does not send
+    // there, but drain defensively so blocks stay isolated.
+    (void)ctx.take_outbox();
+  }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                sim::PartyContext& ctx) override {
+    const std::size_t block = round / block_len_;
+    const std::size_t local = round % block_len_;
+    if (block >= n_) return;
+    // The first round of a block carries the previous block's final
+    // deliveries: complete that instance before starting the new one.
+    if (local == 0 && block > 0) blocks_[block - 1]->finish(inbox, ctx);
+    blocks_[block]->on_round(local, inbox, ctx);
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& ctx) override {
+    blocks_[n_ - 1]->finish(inbox, ctx);
+    done_ = true;
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    if (!done_) throw ProtocolError("SeqDsParty: output before finish");
+    BitVec out(n_);
+    for (sim::PartyId sender = 0; sender < n_; ++sender) {
+      // Block `sender`'s DS output has the agreed bit at the sender's
+      // coordinate.
+      out.set(sender, blocks_[sender]->output().get(sender));
+    }
+    return out;
+  }
+
+ private:
+  std::size_t t_;
+  std::size_t n_;
+  std::size_t block_len_;
+  std::vector<std::unique_ptr<sim::Party>> blocks_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Party> SeqDolevStrongProtocol::make_party(
+    sim::PartyId id, bool input, const sim::ProtocolParams& params) const {
+  return std::make_unique<SeqDsParty>(id, input, t_, params.n);
+}
+
+}  // namespace simulcast::protocols

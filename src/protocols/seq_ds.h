@@ -1,0 +1,46 @@
+// Sequential parallel broadcast implemented WITHOUT the broadcast-channel
+// primitive: n back-to-back Dolev-Strong instances over point-to-point
+// links with hash-based signatures.
+//
+// The main protocols use the simulator's broadcast channel, which the model
+// of Section 3.1 provides; this protocol demonstrates the full substrate
+// stack the paper presupposes - that the channel itself is realizable from
+// point-to-point links plus authentication (interactive consistency, Pease
+// et al. [18]).  Block i occupies rounds [i*(t+2), (i+1)*(t+2)) and runs
+// broadcast/dolev_strong.h with sender i; the output vector collects each
+// block's agreed bit.
+//
+// Like plain seq-broadcast it is a correct, consistent parallel broadcast
+// and deliberately NOT simultaneous (later senders hear earlier values); it
+// exists for the substrate demonstration and the E9 cost comparison, where
+// its signature traffic quantifies what the broadcast-channel abstraction
+// hides.
+#pragma once
+
+#include <algorithm>
+
+#include "broadcast/dolev_strong.h"
+#include "sim/protocol.h"
+
+namespace simulcast::protocols {
+
+class SeqDolevStrongProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  /// Tolerates t corruptions per instance; block length is t + 2.
+  explicit SeqDolevStrongProtocol(std::size_t t) : t_(t) {}
+
+  [[nodiscard]] std::string name() const override { return "seq-broadcast-ds"; }
+  [[nodiscard]] std::size_t rounds(std::size_t n) const override { return n * (t_ + 2); }
+  [[nodiscard]] std::size_t max_corruptions(std::size_t n) const override {
+    return std::min(t_, n - 1);  // at least one honest party must remain
+  }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+
+  [[nodiscard]] std::size_t block_length() const noexcept { return t_ + 2; }
+
+ private:
+  std::size_t t_;
+};
+
+}  // namespace simulcast::protocols

@@ -1,0 +1,109 @@
+#include "protocols/theta.h"
+
+#include "base/error.h"
+
+namespace simulcast::protocols {
+
+BitVec theta_g(const std::vector<ThetaInput>& v, bool r) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> lit;
+  for (std::size_t i = 0; i < n; ++i)
+    if (v[i].b) lit.push_back(i);
+
+  BitVec w(n);
+  for (std::size_t i = 0; i < n; ++i) w.set(i, v[i].x);
+  if (lit.size() != 2) return w;
+
+  const std::size_t l1 = lit[0];
+  const std::size_t l2 = lit[1];
+  bool y = false;
+  for (std::size_t i = 0; i < n; ++i)
+    if (i != l1 && i != l2) y = y != v[i].x;
+  w.set(l1, r);
+  w.set(l2, r != y);
+  return w;
+}
+
+Bytes encode_theta_input(ThetaInput in) {
+  ByteWriter w;
+  w.u8(in.x ? 1 : 0);
+  w.u8(in.b ? 1 : 0);
+  return w.take();
+}
+
+std::optional<ThetaInput> decode_theta_input(const Bytes& payload) {
+  if (payload.size() != 2 || payload[0] > 1 || payload[1] > 1) return std::nullopt;
+  return ThetaInput{payload[0] == 1, payload[1] == 1};
+}
+
+void ThetaIdealFunctionality::on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                                       crypto::HmacDrbg& drbg,
+                                       sim::FunctionalitySender& sender) {
+  if (round != 1) return;
+  inputs_.assign(n_, ThetaInput{});  // default (0, 0) for silent parties
+  std::vector<bool> seen(n_, false);
+  for (const sim::Message& m : inbox) {
+    if (m.tag != kThetaInputTag || m.from >= n_ || seen[m.from]) continue;
+    const auto decoded = decode_theta_input(m.payload);
+    if (!decoded.has_value()) continue;
+    seen[m.from] = true;
+    inputs_[m.from] = *decoded;
+  }
+  const bool r = (drbg.next_u64() & 1u) != 0;
+  const BitVec w = theta_g(inputs_, r);
+  ByteWriter writer;
+  writer.u64(w.packed());
+  const Bytes payload = writer.take();
+  for (sim::PartyId id = 0; id < n_; ++id) sender.send(id, kThetaOutputTag, payload);
+}
+
+namespace {
+
+class FlawedPiGParty final : public sim::Party {
+ public:
+  explicit FlawedPiGParty(bool input) : input_(input) {}
+
+  void begin(sim::PartyContext& ctx) override { n_ = ctx.n(); }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& /*inbox*/,
+                sim::PartyContext& ctx) override {
+    if (round == 0)
+      ctx.send(sim::kFunctionality, kThetaInputTag, encode_theta_input({input_, false}));
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+    for (const sim::Message& m : inbox) {
+      if (m.tag != kThetaOutputTag || m.from != sim::kFunctionality) continue;
+      if (m.payload.size() != 8) continue;
+      ByteReader r(m.payload);
+      result_ = BitVec(n_, r.u64());
+      done_ = true;
+      return;
+    }
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    if (!done_) throw ProtocolError("FlawedPiGParty: no Theta output received");
+    return result_;
+  }
+
+ private:
+  bool input_;
+  std::size_t n_ = 0;
+  BitVec result_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Party> FlawedPiGProtocol::make_party(
+    sim::PartyId /*id*/, bool input, const sim::ProtocolParams& /*params*/) const {
+  return std::make_unique<FlawedPiGParty>(input);
+}
+
+std::unique_ptr<sim::TrustedFunctionality> FlawedPiGProtocol::make_functionality(
+    const sim::ProtocolParams& params) const {
+  return std::make_unique<ThetaIdealFunctionality>(params.n);
+}
+
+}  // namespace simulcast::protocols

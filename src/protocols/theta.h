@@ -1,0 +1,79 @@
+// The leaky function g and the subprotocol Θ of Lemma 6.4.
+//
+// g takes from each party a pair (x_i, b_i).  Let L = { i : b_i = 1 }.
+// With a fresh fair coin r:
+//   |L| == 2 (elements l1 < l2):  w_l1 = r,  w_l2 = r XOR y,  where
+//       y = XOR of x_i over i not in {l1, l2};   w_i = x_i elsewhere.
+//   otherwise:                     w = x.
+// Every party receives the full vector w.
+//
+// The design is the paper's scalpel: each corrupted coordinate alone is an
+// unbiased coin (G-independence holds), yet the XOR of all announced bits
+// is identically 0 when two parties set b = 1 (Claim 6.6), which a
+// CR-predicate detects instantly.
+//
+// Claim 6.5 only asserts Θ exists via generic MPC, so the default backend
+// is the ideal functionality below (the Ideal(g) hybrid the proof reasons
+// about); protocols/theta_mpc.h provides an honest-majority secret-sharing
+// implementation for the backend ablation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "sim/functionality.h"
+#include "sim/protocol.h"
+
+namespace simulcast::protocols {
+
+inline constexpr const char* kThetaInputTag = "theta-input";
+inline constexpr const char* kThetaOutputTag = "theta-output";
+
+struct ThetaInput {
+  bool x = false;
+  bool b = false;
+};
+
+/// The function g itself (pure; used by the functionality and by tests).
+[[nodiscard]] BitVec theta_g(const std::vector<ThetaInput>& v, bool r);
+
+/// Wire helpers for the (x, b) input message.
+[[nodiscard]] Bytes encode_theta_input(ThetaInput in);
+[[nodiscard]] std::optional<ThetaInput> decode_theta_input(const Bytes& payload);
+
+/// The trusted-party implementation of Θ: collects inputs in round 1,
+/// evaluates g with its own coin, and returns w to everyone.  A party that
+/// sends nothing valid is treated as (x, b) = (0, 0).
+class ThetaIdealFunctionality final : public sim::TrustedFunctionality {
+ public:
+  explicit ThetaIdealFunctionality(std::size_t n) : n_(n) {}
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                crypto::HmacDrbg& drbg, sim::FunctionalitySender& sender) override;
+
+ private:
+  std::size_t n_;
+  std::vector<ThetaInput> inputs_;
+};
+
+/// The flawed protocol Π_G of Lemma 6.4 over the ideal Θ: each party calls
+/// Θ with (x_i, b_i = 0) and outputs the returned vector.  2 rounds.
+class FlawedPiGProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "flawed-pi-g"; }
+  [[nodiscard]] std::size_t rounds(std::size_t /*n*/) const override { return 2; }
+  [[nodiscard]] std::size_t max_corruptions(std::size_t n) const override {
+    return vss_corruption_bound(n);
+  }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams& params) const override;
+  [[nodiscard]] std::unique_ptr<sim::TrustedFunctionality> make_functionality(
+      const sim::ProtocolParams& params) const override;
+
+ private:
+  // Θ is realizable for t < n/2 (Claim 6.5); keep the same bound here.
+  [[nodiscard]] static std::size_t vss_corruption_bound(std::size_t n) { return (n - 1) / 2; }
+};
+
+}  // namespace simulcast::protocols

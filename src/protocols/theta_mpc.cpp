@@ -1,0 +1,345 @@
+#include "protocols/theta_mpc.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "base/error.h"
+
+namespace simulcast::protocols {
+
+namespace {
+
+using crypto::PedersenShare;
+using crypto::PedersenVss;
+using crypto::Zq;
+
+struct TwinShares {
+  PedersenShare x;
+  PedersenShare rho;
+};
+
+Bytes encode_twin(const TwinShares& tw) {
+  ByteWriter w;
+  w.bytes(crypto::encode_pedersen_share(tw.x));
+  w.bytes(crypto::encode_pedersen_share(tw.rho));
+  return w.take();
+}
+
+TwinShares decode_twin(const Bytes& data, std::uint64_t q) {
+  ByteReader r(data);
+  TwinShares tw;
+  tw.x = crypto::decode_pedersen_share(r.bytes(), q);
+  tw.rho = crypto::decode_pedersen_share(r.bytes(), q);
+  if (!r.done()) throw ProtocolError("decode_twin: trailing bytes");
+  return tw;
+}
+
+class ThetaMpcParty final : public sim::Party {
+ public:
+  ThetaMpcParty(std::size_t n, bool input, bool lit)
+      : n_(n), t_((n - 1) / 2), input_(input), lit_(lit),
+        group_(&crypto::SchnorrGroup::standard()) {}
+
+  void begin(sim::PartyContext& ctx) override {
+    me_ = ctx.id();
+    dealers_.assign(n_, DealerState{});
+    bits_.assign(n_, false);
+    result_ = BitVec(n_);
+  }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                sim::PartyContext& ctx) override {
+    record(inbox);
+    switch (round) {
+      case 0: deal(ctx); break;
+      case 1: complain(ctx); break;
+      case 2: justify(ctx); break;
+      case 3: reveal(ctx); break;
+      default: break;
+    }
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+    record(inbox);
+    compute_output();
+    decided_ = true;
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    if (!decided_) throw ProtocolError("ThetaMpcParty: output before finish");
+    return result_;
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kX = 0, kRho = 1 };
+
+  struct DealerState {
+    bool bit_seen = false;                   ///< a round-0 b broadcast arrived
+    std::optional<std::vector<std::uint64_t>> commit_x;
+    std::optional<std::vector<std::uint64_t>> commit_rho;
+    std::optional<TwinShares> my_shares;
+    std::vector<PedersenShare> public_x;
+    std::vector<PedersenShare> public_rho;
+    std::set<std::uint64_t> points_x;
+    std::set<std::uint64_t> points_rho;
+    std::map<sim::PartyId, bool> complaints;
+    bool disqualified = false;
+  };
+
+  void deal(sim::PartyContext& ctx) {
+    // Auxiliary bit in the clear.
+    bits_[me_] = lit_;
+    ctx.broadcast(kTmpcBitTag, Bytes{lit_ ? std::uint8_t{1} : std::uint8_t{0}});
+    dealers_[me_].bit_seen = true;
+
+    const Zq x{input_ ? std::uint64_t{1} : std::uint64_t{0}, group_->q()};
+    const Zq rho{ctx.drbg().below(2), group_->q()};
+    my_deal_x_ = vss_.deal(x, t_, n_, ctx.drbg());
+    my_deal_rho_ = vss_.deal(rho, t_, n_, ctx.drbg());
+
+    ByteWriter w;
+    w.bytes(crypto::encode_group_elements(my_deal_x_->commitments));
+    w.bytes(crypto::encode_group_elements(my_deal_rho_->commitments));
+    ctx.broadcast(kTmpcCommitTag, w.take());
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (j == me_) continue;
+      ctx.send(j, kTmpcShareTag,
+               encode_twin({my_deal_x_->shares[j], my_deal_rho_->shares[j]}));
+    }
+    DealerState& self = dealers_[me_];
+    self.commit_x = my_deal_x_->commitments;
+    self.commit_rho = my_deal_rho_->commitments;
+    self.my_shares = TwinShares{my_deal_x_->shares[me_], my_deal_rho_->shares[me_]};
+  }
+
+  [[nodiscard]] bool shares_ok(const DealerState& d) const {
+    if (!d.commit_x.has_value() || !d.commit_rho.has_value() || !d.my_shares.has_value())
+      return false;
+    return vss_.verify_share(*d.commit_x, d.my_shares->x) &&
+           vss_.verify_share(*d.commit_rho, d.my_shares->rho);
+  }
+
+  void complain(sim::PartyContext& ctx) {
+    std::uint64_t mask = 0;
+    for (std::size_t d = 0; d < n_; ++d) {
+      if (d == me_) continue;
+      if (!shares_ok(dealers_[d])) mask |= (std::uint64_t{1} << d);
+    }
+    for (std::size_t d = 0; d < n_; ++d)
+      if ((mask >> d) & 1u) dealers_[d].complaints.emplace(me_, false);
+    ByteWriter w;
+    w.u64(mask);
+    ctx.broadcast(kTmpcComplainTag, w.take());
+  }
+
+  void justify(sim::PartyContext& ctx) {
+    if (!my_deal_x_.has_value()) return;
+    for (auto& [complainer, justified] : dealers_[me_].complaints) {
+      if (complainer >= n_) continue;
+      ByteWriter w;
+      w.u64(complainer);
+      w.bytes(encode_twin({my_deal_x_->shares[complainer], my_deal_rho_->shares[complainer]}));
+      ctx.broadcast(kTmpcJustifyTag, w.take());
+      justified = true;
+      add_public(dealers_[me_], Kind::kX, my_deal_x_->shares[complainer]);
+      add_public(dealers_[me_], Kind::kRho, my_deal_rho_->shares[complainer]);
+    }
+  }
+
+  void decide_disqualifications() {
+    for (std::size_t d = 0; d < n_; ++d) {
+      DealerState& dealer = dealers_[d];
+      if (!dealer.commit_x.has_value() || !dealer.commit_rho.has_value()) {
+        dealer.disqualified = true;
+        continue;
+      }
+      for (const auto& [complainer, justified] : dealer.complaints) {
+        if (!justified) {
+          dealer.disqualified = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// L = lit dealers; the masked branch triggers at |L| == 2.
+  [[nodiscard]] std::vector<std::size_t> lit_set() const {
+    std::vector<std::size_t> lit;
+    for (std::size_t d = 0; d < n_; ++d)
+      if (bits_[d]) lit.push_back(d);
+    return lit;
+  }
+
+  [[nodiscard]] bool x_is_output(std::size_t dealer) const {
+    const auto lit = lit_set();
+    if (lit.size() != 2) return true;
+    return dealer != lit[0] && dealer != lit[1];
+  }
+
+  void reveal(sim::PartyContext& ctx) {
+    decide_disqualifications();
+    for (std::size_t d = 0; d < n_; ++d) {
+      const DealerState& dealer = dealers_[d];
+      if (dealer.disqualified || !dealer.my_shares.has_value()) continue;
+      if (!shares_ok(dealer)) continue;
+      const auto send_reveal = [&](Kind kind, const PedersenShare& share) {
+        ByteWriter w;
+        w.u64(d);
+        w.u8(static_cast<std::uint8_t>(kind));
+        w.bytes(crypto::encode_pedersen_share(share));
+        ctx.broadcast(kTmpcRevealTag, w.take());
+      };
+      send_reveal(Kind::kRho, dealer.my_shares->rho);
+      if (x_is_output(d)) send_reveal(Kind::kX, dealer.my_shares->x);
+    }
+  }
+
+  void add_public(DealerState& dealer, Kind kind, const PedersenShare& share) {
+    const auto& commitments = kind == Kind::kX ? dealer.commit_x : dealer.commit_rho;
+    if (!commitments.has_value()) return;
+    if (!vss_.verify_share(*commitments, share)) return;
+    auto& points = kind == Kind::kX ? dealer.points_x : dealer.points_rho;
+    if (!points.insert(share.x).second) return;
+    (kind == Kind::kX ? dealer.public_x : dealer.public_rho).push_back(share);
+  }
+
+  void record(const std::vector<sim::Message>& inbox) {
+    for (const sim::Message& m : inbox) {
+      try {
+        // Channel binding: only the share transfer is point-to-point;
+        // everything else must arrive on the broadcast channel or an
+        // adversary could equivocate and break consistency.
+        if (m.tag != kTmpcShareTag && m.to != sim::kBroadcast) continue;
+        if (m.tag == kTmpcBitTag) {
+          if (m.from >= n_ || m.round != 0 || m.payload.size() != 1) continue;
+          DealerState& d = dealers_[m.from];
+          if (d.bit_seen) continue;
+          d.bit_seen = true;
+          bits_[m.from] = m.payload[0] != 0;
+        } else if (m.tag == kTmpcCommitTag) {
+          if (m.from >= n_ || m.round != 0) continue;
+          DealerState& d = dealers_[m.from];
+          if (d.commit_x.has_value()) continue;
+          ByteReader r(m.payload);
+          auto cx = crypto::decode_group_elements(r.bytes());
+          auto cr = crypto::decode_group_elements(r.bytes());
+          if (!vss_.verify_commitments(cx, t_) || !vss_.verify_commitments(cr, t_)) continue;
+          d.commit_x = std::move(cx);
+          d.commit_rho = std::move(cr);
+        } else if (m.tag == kTmpcShareTag) {
+          if (m.from >= n_ || m.round != 0 || m.to != me_) continue;
+          DealerState& d = dealers_[m.from];
+          if (d.my_shares.has_value()) continue;
+          const TwinShares tw = decode_twin(m.payload, group_->q());
+          if (tw.x.x != me_ + 1 || tw.rho.x != me_ + 1) continue;
+          d.my_shares = tw;
+        } else if (m.tag == kTmpcComplainTag) {
+          if (m.from >= n_ || m.round != 1 || m.payload.size() != 8) continue;
+          ByteReader r(m.payload);
+          const std::uint64_t mask = r.u64();
+          for (std::size_t d = 0; d < n_; ++d)
+            if ((mask >> d) & 1u) dealers_[d].complaints.emplace(m.from, false);
+        } else if (m.tag == kTmpcJustifyTag) {
+          if (m.from >= n_ || m.round != 2) continue;
+          DealerState& d = dealers_[m.from];
+          ByteReader r(m.payload);
+          const sim::PartyId complainer = r.u64();
+          const TwinShares tw = decode_twin(r.bytes(), group_->q());
+          if (tw.x.x != complainer + 1 || tw.rho.x != complainer + 1) continue;
+          auto it = d.complaints.find(complainer);
+          if (it == d.complaints.end()) continue;
+          if (!d.commit_x.has_value() || !vss_.verify_share(*d.commit_x, tw.x) ||
+              !vss_.verify_share(*d.commit_rho, tw.rho))
+            continue;
+          it->second = true;
+          add_public(d, Kind::kX, tw.x);
+          add_public(d, Kind::kRho, tw.rho);
+          if (complainer == me_ && !d.my_shares.has_value()) d.my_shares = tw;
+        } else if (m.tag == kTmpcRevealTag) {
+          if (m.from >= n_ || m.round != 3) continue;
+          ByteReader r(m.payload);
+          const std::uint64_t dealer_id = r.u64();
+          const auto kind = static_cast<Kind>(r.u8());
+          if (dealer_id >= n_ || (kind != Kind::kX && kind != Kind::kRho)) continue;
+          const PedersenShare share = crypto::decode_pedersen_share(r.bytes(), group_->q());
+          if (share.x != m.from + 1) continue;
+          add_public(dealers_[dealer_id], kind, share);
+        }
+      } catch (const Error&) {
+        // Malformed adversarial message: ignore.
+      }
+    }
+  }
+
+  /// Reconstructs a dealer's secret of the given kind; nullopt when fewer
+  /// than t+1 verifying shares are available.
+  [[nodiscard]] std::optional<Zq> reconstruct(const DealerState& dealer, Kind kind) const {
+    std::vector<PedersenShare> pool =
+        kind == Kind::kX ? dealer.public_x : dealer.public_rho;
+    const auto& points = kind == Kind::kX ? dealer.points_x : dealer.points_rho;
+    if (dealer.my_shares.has_value() && !points.contains(me_ + 1)) {
+      const PedersenShare& mine =
+          kind == Kind::kX ? dealer.my_shares->x : dealer.my_shares->rho;
+      const auto& commitments = kind == Kind::kX ? dealer.commit_x : dealer.commit_rho;
+      if (commitments.has_value() && vss_.verify_share(*commitments, mine))
+        pool.push_back(mine);
+    }
+    if (pool.size() < t_ + 1) return std::nullopt;
+    pool.resize(t_ + 1);
+    return vss_.reconstruct(pool);
+  }
+
+  void compute_output() {
+    // r = parity of the sum of all qualified dealers' rho values.
+    Zq rho_sum{0, group_->q()};
+    std::vector<bool> xbit(n_, false);
+    for (std::size_t d = 0; d < n_; ++d) {
+      const DealerState& dealer = dealers_[d];
+      if (dealer.disqualified) continue;
+      if (const auto rho = reconstruct(dealer, Kind::kRho)) rho_sum += *rho;
+      if (x_is_output(d)) {
+        if (const auto x = reconstruct(dealer, Kind::kX)) xbit[d] = x->value() == 1;
+      }
+    }
+    const bool r = (rho_sum.value() & 1u) != 0;
+
+    const auto lit = lit_set();
+    for (std::size_t d = 0; d < n_; ++d) result_.set(d, xbit[d]);
+    if (lit.size() == 2) {
+      bool y = false;
+      for (std::size_t d = 0; d < n_; ++d)
+        if (d != lit[0] && d != lit[1]) y = y != xbit[d];
+      result_.set(lit[0], r);
+      result_.set(lit[1], r != y);
+    }
+  }
+
+  std::size_t n_;
+  std::size_t t_;
+  bool input_;
+  bool lit_;
+  const crypto::SchnorrGroup* group_;
+  PedersenVss vss_;
+  sim::PartyId me_ = 0;
+  std::optional<crypto::PedersenDeal> my_deal_x_;
+  std::optional<crypto::PedersenDeal> my_deal_rho_;
+  std::vector<DealerState> dealers_;
+  std::vector<bool> bits_;
+  BitVec result_;
+  bool decided_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::Party> ThetaMpcProtocol::make_party(
+    sim::PartyId /*id*/, bool input, const sim::ProtocolParams& params) const {
+  return std::make_unique<ThetaMpcParty>(params.n, input, /*lit=*/false);
+}
+
+std::unique_ptr<sim::Party> ThetaMpcProtocol::make_attack_party(
+    sim::PartyId /*id*/, bool input, bool lit, const sim::ProtocolParams& params) const {
+  return std::make_unique<ThetaMpcParty>(params.n, input, lit);
+}
+
+}  // namespace simulcast::protocols

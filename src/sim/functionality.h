@@ -1,0 +1,41 @@
+// Trusted-functionality endpoint.
+//
+// Some protocols are defined relative to an ideal subprotocol: the paper's
+// flawed protocol Π_G (Lemma 6.4) calls a subprotocol Θ that "securely
+// implements" the leaky function g; Claim 6.5 merely asserts Θ exists via
+// generic MPC.  The simulator therefore supports an optional trusted party
+// (address sim::kFunctionality) whose channels are always private and which
+// is never corrupted.  Running Π_G with ThetaIdealFunctionality is exactly
+// the Ideal(g) hybrid the proof reasons about; protocols/theta_mpc.h
+// provides the real-MPC replacement for the ablation.
+#pragma once
+
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "sim/message.h"
+
+namespace simulcast::sim {
+
+/// Outbox restricted to the functionality's identity.
+class FunctionalitySender {
+ public:
+  void send(PartyId to, std::string tag, Bytes payload);
+  [[nodiscard]] std::vector<Message> take_outbox() noexcept { return std::move(outbox_); }
+
+ private:
+  std::vector<Message> outbox_;
+};
+
+class TrustedFunctionality {
+ public:
+  virtual ~TrustedFunctionality() = default;
+
+  /// Called every round with messages addressed to kFunctionality that were
+  /// sent in the previous round.  The functionality's own randomness comes
+  /// from `drbg` (hidden from everyone).
+  virtual void on_round(Round round, const std::vector<Message>& inbox,
+                        crypto::HmacDrbg& drbg, FunctionalitySender& sender) = 0;
+};
+
+}  // namespace simulcast::sim

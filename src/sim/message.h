@@ -1,0 +1,38 @@
+// Messages and addressing for the round-based network simulator.
+//
+// The model follows Section 3.1 of the paper: n parties, point-to-point
+// channels between every pair, plus a broadcast channel primitive
+// (protocols that want to *implement* broadcast from point-to-point use
+// broadcast/dolev_strong.h instead of the primitive).  Messages sent in
+// round r are delivered at the beginning of round r+1.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+
+namespace simulcast::sim {
+
+using PartyId = std::size_t;
+using Round = std::size_t;
+
+/// Destination meaning "the broadcast channel": delivered to every party.
+inline constexpr PartyId kBroadcast = std::numeric_limits<PartyId>::max();
+
+/// Pseudo-party id of the trusted functionality endpoint, when a protocol
+/// installs one (see sim/functionality.h).  Parties address it as a normal
+/// point-to-point destination.
+inline constexpr PartyId kFunctionality = std::numeric_limits<PartyId>::max() - 1;
+
+struct Message {
+  PartyId from = 0;
+  PartyId to = 0;     ///< party id, kBroadcast, or kFunctionality
+  Round round = 0;    ///< round in which the message was sent
+  std::string tag;    ///< protocol-defined message type
+  Bytes payload;
+};
+
+}  // namespace simulcast::sim

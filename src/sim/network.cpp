@@ -1,0 +1,221 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "base/error.h"
+
+namespace simulcast::sim {
+
+namespace {
+
+bool is_corrupted(const std::vector<PartyId>& corrupted, PartyId id) {
+  return std::find(corrupted.begin(), corrupted.end(), id) != corrupted.end();
+}
+
+}  // namespace
+
+void PartyContext::send(PartyId to, std::string tag, Bytes payload) {
+  if (to != kFunctionality && to >= n_) throw UsageError("PartyContext::send: bad destination");
+  outbox_.push_back(Message{id_, to, 0, std::move(tag), std::move(payload)});
+}
+
+void PartyContext::broadcast(std::string tag, Bytes payload) {
+  outbox_.push_back(Message{id_, kBroadcast, 0, std::move(tag), std::move(payload)});
+}
+
+void AdversarySender::check_from(PartyId from) const {
+  if (std::find(corrupted_.begin(), corrupted_.end(), from) == corrupted_.end())
+    throw UsageError("AdversarySender: 'from' is not a corrupted party");
+}
+
+void AdversarySender::send(PartyId from, PartyId to, std::string tag, Bytes payload) {
+  check_from(from);
+  outbox_.push_back(Message{from, to, 0, std::move(tag), std::move(payload)});
+}
+
+void AdversarySender::broadcast(PartyId from, std::string tag, Bytes payload) {
+  check_from(from);
+  outbox_.push_back(Message{from, kBroadcast, 0, std::move(tag), std::move(payload)});
+}
+
+void FunctionalitySender::send(PartyId to, std::string tag, Bytes payload) {
+  outbox_.push_back(Message{kFunctionality, to, 0, std::move(tag), std::move(payload)});
+}
+
+const BitVec& ExecutionResult::any_honest_output(const std::vector<PartyId>& corrupted) const {
+  for (PartyId id = 0; id < outputs.size(); ++id) {
+    if (is_corrupted(corrupted, id)) continue;
+    if (outputs[id].has_value()) return *outputs[id];
+  }
+  throw ProtocolError("ExecutionResult: no honest party produced output");
+}
+
+bool ExecutionResult::honest_outputs_consistent(const std::vector<PartyId>& corrupted) const {
+  const BitVec* first = nullptr;
+  for (PartyId id = 0; id < outputs.size(); ++id) {
+    if (is_corrupted(corrupted, id)) continue;
+    if (!outputs[id].has_value()) return false;
+    if (first == nullptr)
+      first = &*outputs[id];
+    else if (*outputs[id] != *first)
+      return false;
+  }
+  return first != nullptr;
+}
+
+ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
+                              const ProtocolParams& params, const BitVec& inputs,
+                              Adversary& adversary, const ExecutionConfig& config) {
+  const std::size_t n = params.n;
+  if (n == 0 || n > kMaxBits) throw UsageError("run_execution: bad party count");
+  if (inputs.size() != n) throw UsageError("run_execution: input width != n");
+  std::vector<PartyId> corrupted = config.corrupted;
+  std::sort(corrupted.begin(), corrupted.end());
+  if (std::adjacent_find(corrupted.begin(), corrupted.end()) != corrupted.end())
+    throw UsageError("run_execution: duplicate corrupted id");
+  for (PartyId id : corrupted)
+    if (id >= n) throw UsageError("run_execution: corrupted id out of range");
+  if (corrupted.size() > protocol.max_corruptions(n))
+    throw UsageError("run_execution: protocol does not tolerate this many corruptions");
+
+  // Derived randomness streams.
+  std::vector<crypto::HmacDrbg> party_drbgs;
+  party_drbgs.reserve(n);
+  for (PartyId id = 0; id < n; ++id)
+    party_drbgs.emplace_back(config.seed, "party:" + std::to_string(id));
+  crypto::HmacDrbg adversary_drbg(config.seed, "adversary");
+  crypto::HmacDrbg functionality_drbg(config.seed, "functionality");
+
+  // Machines (honest parties only).
+  std::vector<std::unique_ptr<Party>> machines(n);
+  std::vector<PartyContext> contexts;
+  contexts.reserve(n);
+  for (PartyId id = 0; id < n; ++id) {
+    contexts.emplace_back(id, n, params.k, party_drbgs[id]);
+    if (!is_corrupted(corrupted, id)) machines[id] = protocol.make_party(id, inputs.get(id), params);
+  }
+  std::unique_ptr<TrustedFunctionality> functionality = protocol.make_functionality(params);
+
+  // Adversary setup.
+  {
+    CorruptionInfo info;
+    info.corrupted = corrupted;
+    info.corrupted_inputs = BitVec(corrupted.size());
+    for (std::size_t j = 0; j < corrupted.size(); ++j)
+      info.corrupted_inputs.set(j, inputs.get(corrupted[j]));
+    info.auxiliary_input = config.auxiliary_input;
+    info.n = n;
+    info.k = params.k;
+    adversary.setup(info, adversary_drbg);
+  }
+
+  for (PartyId id = 0; id < n; ++id)
+    if (machines[id]) machines[id]->begin(contexts[id]);
+
+  const std::size_t total_rounds = protocol.rounds(n);
+  ExecutionResult result;
+  result.rounds = total_rounds;
+  if (config.record_trace) result.trace.resize(total_rounds + 1);
+
+  // in_flight: messages sent in the previous round, awaiting delivery.
+  std::vector<Message> in_flight;
+
+  const auto deliver_to = [&](const std::vector<Message>& pool, PartyId id) {
+    std::vector<Message> inbox;
+    for (const Message& m : pool)
+      if (m.to == id || (m.to == kBroadcast && m.from != id)) inbox.push_back(m);
+    return inbox;
+  };
+
+  const auto account = [&](const std::vector<Message>& sent) {
+    for (const Message& m : sent) {
+      ++result.traffic.messages;
+      result.traffic.payload_bytes += m.payload.size();
+      if (m.to == kBroadcast) {
+        ++result.traffic.broadcasts;
+        result.traffic.delivered_bytes += m.payload.size() * (n - 1);
+      } else {
+        ++result.traffic.point_to_point;
+        result.traffic.delivered_bytes += m.payload.size();
+      }
+    }
+  };
+
+  for (Round round = 0; round < total_rounds; ++round) {
+    std::vector<Message> sent_this_round;
+
+    // 1+2. Honest parties act on their deliveries.
+    for (PartyId id = 0; id < n; ++id) {
+      if (!machines[id]) continue;
+      const std::vector<Message> inbox = deliver_to(in_flight, id);
+      machines[id]->on_round(round, inbox, contexts[id]);
+      for (Message& m : contexts[id].take_outbox()) {
+        m.round = round;
+        sent_this_round.push_back(std::move(m));
+      }
+    }
+
+    // Functionality acts on its deliveries.
+    if (functionality) {
+      std::vector<Message> inbox;
+      for (const Message& m : in_flight)
+        if (m.to == kFunctionality) inbox.push_back(m);
+      FunctionalitySender fsender;
+      functionality->on_round(round, inbox, functionality_drbg, fsender);
+      for (Message& m : fsender.take_outbox()) {
+        m.round = round;
+        sent_this_round.push_back(std::move(m));
+      }
+    }
+
+    // 3. Adversary: deliveries to corrupted parties + rushed same-round view.
+    AdversaryView view;
+    view.round = round;
+    for (const Message& m : in_flight) {
+      const bool to_corrupted = m.to != kBroadcast && m.to != kFunctionality &&
+                                is_corrupted(corrupted, m.to);
+      const bool broadcast_msg = m.to == kBroadcast;
+      if (to_corrupted || broadcast_msg || (!config.private_channels && m.to != kFunctionality))
+        view.delivered.push_back(m);
+    }
+    for (const Message& m : sent_this_round) {
+      const bool to_corrupted = m.to != kBroadcast && m.to != kFunctionality &&
+                                is_corrupted(corrupted, m.to);
+      const bool broadcast_msg = m.to == kBroadcast;
+      if (to_corrupted || broadcast_msg || (!config.private_channels && m.to != kFunctionality))
+        view.rushed.push_back(m);
+    }
+    AdversarySender sender(corrupted);
+    adversary.on_round(round, view, sender);
+    for (Message& m : sender.take_outbox()) {
+      m.round = round;
+      sent_this_round.push_back(std::move(m));
+    }
+
+    account(sent_this_round);
+    if (config.record_trace) result.trace[round] = sent_this_round;
+    in_flight = std::move(sent_this_round);
+  }
+
+  // Final delivery.
+  for (PartyId id = 0; id < n; ++id) {
+    if (!machines[id]) continue;
+    const std::vector<Message> inbox = deliver_to(in_flight, id);
+    machines[id]->finish(inbox, contexts[id]);
+  }
+  if (config.record_trace) result.trace[total_rounds] = in_flight;
+
+  result.outputs.resize(n);
+  for (PartyId id = 0; id < n; ++id) {
+    if (!machines[id]) continue;
+    try {
+      result.outputs[id] = machines[id]->output();
+    } catch (const Error&) {
+      result.outputs[id] = std::nullopt;
+    }
+  }
+  result.adversary_output = adversary.output();
+  return result;
+}
+
+}  // namespace simulcast::sim

@@ -1,0 +1,69 @@
+// The round scheduler: runs one execution of a parallel-broadcast protocol
+// against an adversary and returns outputs plus traffic metrics.
+//
+// Determinism: the whole execution is a pure function of
+// (protocol, adversary, inputs, seed, config).  Per-party DRBGs, the
+// adversary DRBG and the functionality DRBG are all derived from the seed
+// with distinct personalization strings.
+//
+// Rushing order within each round r:
+//   1. deliver messages sent in round r-1,
+//   2. honest parties (and the functionality) compute and queue round-r
+//      messages,
+//   3. the adversary sees its round-r entitlement (deliveries + rushable
+//      same-round honest traffic) and queues corrupted round-r messages.
+// After the final round there is one last delivery into Party::finish.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "sim/adversary.h"
+#include "sim/protocol.h"
+
+namespace simulcast::sim {
+
+struct ExecutionConfig {
+  std::uint64_t seed = 0;            ///< master seed of the execution
+  std::vector<PartyId> corrupted;    ///< the static corruption set B (sorted or not)
+  Bytes auxiliary_input;             ///< adversary auxiliary input z
+  bool private_channels = true;      ///< false lets the adversary read all p2p traffic
+  bool record_trace = false;         ///< keep every message for debugging
+};
+
+struct TrafficStats {
+  std::size_t messages = 0;        ///< send operations (a broadcast counts once)
+  std::size_t point_to_point = 0;  ///< p2p sends
+  std::size_t broadcasts = 0;      ///< broadcast-channel sends
+  std::size_t payload_bytes = 0;   ///< sum of payload sizes over sends
+  std::size_t delivered_bytes = 0; ///< payload bytes times fan-out
+};
+
+struct ExecutionResult {
+  /// Party outputs; nullopt for corrupted parties (the adversary has no
+  /// prescribed output vector) and for honest parties that failed.
+  std::vector<std::optional<BitVec>> outputs;
+  Bytes adversary_output;
+  std::size_t rounds = 0;
+  TrafficStats traffic;
+  /// All messages by round (only when record_trace was set).
+  std::vector<std::vector<Message>> trace;
+
+  /// First honest output (Definition 3.1 takes any honest party's vector).
+  /// Throws ProtocolError if no honest party produced output.
+  [[nodiscard]] const BitVec& any_honest_output(const std::vector<PartyId>& corrupted) const;
+
+  /// True when all honest outputs are equal (the consistency property).
+  [[nodiscard]] bool honest_outputs_consistent(const std::vector<PartyId>& corrupted) const;
+};
+
+/// Runs one execution.  `inputs` has one bit per party; corrupted parties'
+/// bits are handed to the adversary, not to honest machines.  Throws
+/// UsageError on malformed configuration (corrupted set out of range, too
+/// many corruptions for the protocol, wrong input width).
+[[nodiscard]] ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
+                                            const ProtocolParams& params, const BitVec& inputs,
+                                            Adversary& adversary, const ExecutionConfig& config);
+
+}  // namespace simulcast::sim

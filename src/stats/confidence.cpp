@@ -1,0 +1,72 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+
+#include "base/error.h"
+
+namespace simulcast::stats {
+
+double hoeffding_radius(std::size_t samples, double alpha) {
+  if (samples == 0) throw UsageError("hoeffding_radius: samples == 0");
+  if (alpha <= 0.0 || alpha >= 1.0) throw UsageError("hoeffding_radius: alpha out of (0,1)");
+  return std::sqrt(std::log(2.0 / alpha) / (2.0 * static_cast<double>(samples)));
+}
+
+double hoeffding_diff_radius(std::size_t samples_a, std::size_t samples_b, double alpha) {
+  return hoeffding_radius(samples_a, alpha / 2.0) + hoeffding_radius(samples_b, alpha / 2.0);
+}
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) throw UsageError("normal_quantile: p out of (0,1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double alpha) {
+  if (trials == 0) throw UsageError("wilson_interval: trials == 0");
+  if (successes > trials) throw UsageError("wilson_interval: successes > trials");
+  const double z = normal_quantile(1.0 - alpha / 2.0);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {center - half, center + half};
+}
+
+std::size_t samples_for_radius(double radius, double alpha) {
+  if (radius <= 0.0) throw UsageError("samples_for_radius: radius <= 0");
+  const double n = std::log(2.0 / alpha) / (2.0 * radius * radius);
+  return static_cast<std::size_t>(std::ceil(n));
+}
+
+}  // namespace simulcast::stats

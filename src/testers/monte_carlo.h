@@ -1,0 +1,56 @@
+// Monte-Carlo execution harness shared by all independence testers.
+//
+// Each tester estimates the literal quantity in its definition from N
+// independent executions: fresh input draw, fresh protocol randomness,
+// fresh adversary instance, all derived from (seed, repetition index) so a
+// whole experiment replays exactly.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "dist/ensembles.h"
+#include "sim/network.h"
+#include "stats/rng.h"
+
+namespace simulcast::testers {
+
+/// Everything needed to run one (protocol, adversary, corruption) triple.
+struct RunSpec {
+  const sim::ParallelBroadcastProtocol* protocol = nullptr;
+  sim::ProtocolParams params;
+  std::vector<sim::PartyId> corrupted;
+  adversary::AdversaryFactory adversary;
+  Bytes auxiliary_input;
+  bool private_channels = true;
+};
+
+/// One execution's observables.
+struct Sample {
+  BitVec inputs;           ///< x as drawn (or fixed)
+  BitVec announced;        ///< W (Definition 3.1)
+  bool consistent = false; ///< honest outputs agreed
+  Bytes adversary_output;
+};
+
+/// Runs `count` executions with inputs drawn from `ensemble`.
+[[nodiscard]] std::vector<Sample> collect_samples(const RunSpec& spec,
+                                                  const dist::InputEnsemble& ensemble,
+                                                  std::size_t count, std::uint64_t seed);
+
+/// Runs `count` executions with the given fixed input vector (the quantity
+/// Announced^Π_A(x) of Definition 3.1; used by the G** tester).
+[[nodiscard]] std::vector<Sample> collect_samples_fixed(const RunSpec& spec, const BitVec& input,
+                                                        std::size_t count, std::uint64_t seed);
+
+/// Fraction of samples with consistent honest outputs (should be ~1 for a
+/// correct parallel-broadcast protocol under any adversary).
+[[nodiscard]] double consistency_rate(const std::vector<Sample>& samples);
+
+/// Sorted honest coordinate list for a sample width and corruption set.
+[[nodiscard]] std::vector<std::size_t> honest_indices(std::size_t n,
+                                                      const std::vector<sim::PartyId>& corrupted);
+
+}  // namespace simulcast::testers

@@ -1,0 +1,112 @@
+#include "testers/sb_tester.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/error.h"
+#include "stats/confidence.h"
+#include "stats/empirical.h"
+
+namespace simulcast::testers {
+
+namespace {
+
+/// Packs (x, W) into a 2n-bit vector for joint-histogram comparison.
+BitVec pack_pair(const BitVec& x, const BitVec& w) {
+  BitVec out(x.size() + w.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out.set(i, x.get(i));
+  for (std::size_t i = 0; i < w.size(); ++i) out.set(x.size() + i, w.get(i));
+  return out;
+}
+
+}  // namespace
+
+std::vector<SbDistinguisher> default_sb_distinguishers(
+    std::size_t n, const std::vector<sim::PartyId>& corrupted) {
+  std::vector<SbDistinguisher> lib;
+  const std::vector<std::size_t> honest = honest_indices(n, corrupted);
+  // Copy detectors: corrupted announced value equals an honest input.
+  for (std::size_t c : corrupted) {
+    for (std::size_t j : honest) {
+      lib.push_back({"W" + std::to_string(c) + "==x" + std::to_string(j),
+                     [c, j](const BitVec& x, const BitVec& w) { return w.get(c) == x.get(j); }});
+    }
+  }
+  // Parity rigging.
+  lib.push_back({"parity(W)==0", [](const BitVec&, const BitVec& w) { return !w.parity(); }});
+  // Corrupted coordinates themselves.
+  for (std::size_t c : corrupted)
+    lib.push_back({"W" + std::to_string(c) + "==1",
+                   [c](const BitVec&, const BitVec& w) { return w.get(c); }});
+  // Honest correctness (should hold in both worlds; catches simulator bugs).
+  for (std::size_t j : honest)
+    lib.push_back({"W" + std::to_string(j) + "==x" + std::to_string(j),
+                   [j](const BitVec& x, const BitVec& w) { return w.get(j) == x.get(j); }});
+  return lib;
+}
+
+SbVerdict test_sb(const RunSpec& spec, const dist::InputEnsemble& ensemble,
+                  const SbOptions& options, std::uint64_t seed) {
+  if (spec.protocol == nullptr) throw UsageError("test_sb: null protocol");
+  const std::size_t n = spec.params.n;
+  const std::vector<std::size_t> honest = honest_indices(n, spec.corrupted);
+
+  stats::Rng master(seed);
+  stats::Rng input_rng = master.fork("sb-inputs");
+
+  stats::EmpiricalDist real_joint(2 * n);
+  stats::EmpiricalDist ideal_joint(2 * n);
+  std::vector<std::pair<BitVec, BitVec>> real_pairs;
+  std::vector<std::pair<BitVec, BitVec>> ideal_pairs;
+  real_pairs.reserve(options.samples);
+  ideal_pairs.reserve(options.samples);
+
+  for (std::size_t rep = 0; rep < options.samples; ++rep) {
+    const BitVec x = ensemble.sample(input_rng);
+
+    // Real world.
+    {
+      const std::vector<Sample> s =
+          collect_samples_fixed(spec, x, 1, master.fork("sb-real", rep)());
+      real_joint.add(pack_pair(x, s.front().announced));
+      real_pairs.emplace_back(x, s.front().announced);
+    }
+    // Ideal world with the dummy-input simulator: sandbox the adversary on
+    // honest inputs pinned to 0 and read off the corrupted announced values.
+    {
+      BitVec dummy = x;
+      for (std::size_t j : honest) dummy.set(j, false);
+      const std::vector<Sample> s =
+          collect_samples_fixed(spec, dummy, 1, master.fork("sb-ideal", rep)());
+      BitVec w_ideal = x;  // f_SB hands honest inputs through verbatim
+      for (std::size_t c : spec.corrupted) w_ideal.set(c, s.front().announced.get(c));
+      ideal_joint.add(pack_pair(x, w_ideal));
+      ideal_pairs.emplace_back(x, w_ideal);
+    }
+  }
+
+  SbVerdict verdict;
+  verdict.samples = options.samples;
+  verdict.tv_joint = real_joint.tv_distance(ideal_joint);
+
+  const std::vector<SbDistinguisher> lib = default_sb_distinguishers(n, spec.corrupted);
+  const double alpha_each = options.alpha / std::max<double>(1.0, static_cast<double>(lib.size()));
+  verdict.radius = stats::hoeffding_diff_radius(options.samples, options.samples, alpha_each);
+  for (const SbDistinguisher& d : lib) {
+    double p_real = 0.0;
+    double p_ideal = 0.0;
+    for (const auto& [x, w] : real_pairs) p_real += d.eval(x, w) ? 1.0 : 0.0;
+    for (const auto& [x, w] : ideal_pairs) p_ideal += d.eval(x, w) ? 1.0 : 0.0;
+    p_real /= static_cast<double>(options.samples);
+    p_ideal /= static_cast<double>(options.samples);
+    const double gap = std::abs(p_real - p_ideal);
+    if (gap > verdict.max_distinguisher_gap) {
+      verdict.max_distinguisher_gap = gap;
+      verdict.worst = {d.name, p_real, p_ideal};
+    }
+  }
+  verdict.secure = verdict.max_distinguisher_gap <= verdict.radius + options.margin;
+  return verdict;
+}
+
+}  // namespace simulcast::testers

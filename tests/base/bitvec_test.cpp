@@ -1,0 +1,119 @@
+#include "base/bitvec.h"
+
+#include <gtest/gtest.h>
+
+namespace simulcast {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.packed(), 0u);
+}
+
+TEST(BitVec, ZeroConstruction) {
+  BitVec v(5);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, PackedConstructionMasksHighBits) {
+  BitVec v(3, 0b11111);
+  EXPECT_EQ(v.packed(), 0b111u);
+}
+
+TEST(BitVec, SetGetRoundTrip) {
+  BitVec v(8);
+  v.set(3, true);
+  v.set(7, true);
+  EXPECT_TRUE(v.get(3));
+  EXPECT_TRUE(v.get(7));
+  EXPECT_FALSE(v.get(0));
+  v.set(3, false);
+  EXPECT_FALSE(v.get(3));
+}
+
+TEST(BitVec, SizeLimitEnforced) {
+  EXPECT_THROW(BitVec(65), std::invalid_argument);
+  EXPECT_NO_THROW(BitVec(64));
+}
+
+TEST(BitVec, IndexRangeEnforced) {
+  BitVec v(4);
+  EXPECT_THROW((void)v.get(4), std::out_of_range);
+  EXPECT_THROW(v.set(4, true), std::out_of_range);
+}
+
+TEST(BitVec, FromStringAndToString) {
+  const BitVec v = BitVec::from_string("0110");
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_FALSE(v.get(3));
+  EXPECT_EQ(v.to_string(), "0110");
+}
+
+TEST(BitVec, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVec::from_string("01x0"), std::invalid_argument);
+}
+
+TEST(BitVec, PopcountAndParity) {
+  EXPECT_EQ(BitVec::from_string("0110").popcount(), 2);
+  EXPECT_FALSE(BitVec::from_string("0110").parity());
+  EXPECT_TRUE(BitVec::from_string("0111").parity());
+  EXPECT_EQ(BitVec(4).popcount(), 0);
+}
+
+TEST(BitVec, SelectExtractsCoordinates) {
+  const BitVec v = BitVec::from_string("10110");
+  const BitVec sel = v.select({0, 2, 4});
+  EXPECT_EQ(sel.to_string(), "110");
+}
+
+TEST(BitVec, SelectEmptySet) {
+  const BitVec v = BitVec::from_string("101");
+  EXPECT_EQ(v.select({}).size(), 0u);
+}
+
+TEST(BitVec, SpliceCombinesCoordinates) {
+  // n = 5, G = {1, 3}; w on G, z on complement {0, 2, 4}.
+  const BitVec w = BitVec::from_string("11");
+  const BitVec z = BitVec::from_string("000");
+  const BitVec out = BitVec::splice(5, {1, 3}, w, z);
+  EXPECT_EQ(out.to_string(), "01010");
+}
+
+TEST(BitVec, SpliceChecksWidths) {
+  EXPECT_THROW(BitVec::splice(5, {1, 3}, BitVec::from_string("1"), BitVec::from_string("000")),
+               std::invalid_argument);
+  EXPECT_THROW(BitVec::splice(5, {1, 3}, BitVec::from_string("11"), BitVec::from_string("00")),
+               std::invalid_argument);
+}
+
+TEST(BitVec, SpliceRoundTripsWithSelect) {
+  const BitVec original = BitVec::from_string("10110");
+  const std::vector<std::size_t> g = {0, 3};
+  const BitVec w = original.select(g);
+  const BitVec z = original.select(complement(5, g));
+  EXPECT_EQ(BitVec::splice(5, g, w, z), original);
+}
+
+TEST(BitVec, ComparisonOperators) {
+  EXPECT_EQ(BitVec::from_string("01"), BitVec::from_string("01"));
+  EXPECT_NE(BitVec::from_string("01"), BitVec::from_string("10"));
+  EXPECT_NE(BitVec::from_string("01"), BitVec::from_string("010"));
+  EXPECT_LT(BitVec::from_string("10"), BitVec::from_string("01"));  // packed 1 < 2
+}
+
+TEST(Complement, BasicAndErrors) {
+  EXPECT_EQ(complement(5, {1, 3}), (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(complement(3, {}), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(complement(3, {0, 1, 2}).empty());
+  EXPECT_THROW(complement(3, {3}), std::invalid_argument);
+  EXPECT_THROW(complement(3, {1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simulcast

@@ -1,0 +1,81 @@
+#include "base/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("0"), UsageError);
+  EXPECT_THROW(from_hex("zz"), UsageError);
+}
+
+TEST(ByteWriter, ScalarsLittleEndian) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u32(0x04030201);
+  w.u64(0x0807060504030201ULL);
+  const Bytes expected = {0x01, 0x01, 0x02, 0x03, 0x04, 0x01, 0x02,
+                          0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriterReader, RoundTrip) {
+  ByteWriter w;
+  w.u8(7);
+  w.u32(123456);
+  w.u64(0xdeadbeefcafef00dULL);
+  w.bytes({1, 2, 3});
+  w.str("hello");
+  const Bytes buf = w.take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, TruncationThrows) {
+  const Bytes buf = {0x01, 0x02};
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.u32(), ProtocolError);
+}
+
+TEST(ByteReader, TruncatedLengthPrefixThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  const Bytes buf = w.take();
+  ByteReader r(buf);
+  EXPECT_THROW((void)r.bytes(), ProtocolError);
+}
+
+TEST(ByteWriter, LengthPrefixDisambiguates) {
+  // commit("ab","c") vs commit("a","bc") must serialize differently.
+  ByteWriter w1;
+  w1.str("ab");
+  w1.str("c");
+  ByteWriter w2;
+  w2.str("a");
+  w2.str("bc");
+  EXPECT_NE(w1.data(), w2.data());
+}
+
+}  // namespace
+}  // namespace simulcast

@@ -1,0 +1,180 @@
+#include "broadcast/dolev_strong.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::broadcast {
+namespace {
+
+sim::ProtocolParams params_for(std::size_t n) {
+  sim::ProtocolParams p;
+  p.n = n;
+  return p;
+}
+
+/// Corrupted sender equivocates: signs 0 for the low-id half and 1 for the
+/// high-id half, with its own valid key (it participates in the PKI round).
+class EquivocatingSender final : public sim::Adversary {
+ public:
+  explicit EquivocatingSender(sim::PartyId sender) : sender_(sender) {}
+
+  void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override {
+    n_ = info.n;
+    signer_.emplace(drbg.generate(32), 3);
+    for (sim::PartyId id : info.corrupted)
+      if (id == sender_) corrupted_sender_ = true;
+    if (!corrupted_sender_) throw UsageError("EquivocatingSender: sender must be corrupted");
+  }
+
+  void on_round(sim::Round round, const sim::AdversaryView&,
+                sim::AdversarySender& sender) override {
+    if (round == 0) {
+      sender.broadcast(sender_, "ds-root", crypto::digest_bytes(signer_->public_root()));
+      return;
+    }
+    if (round == 1) {
+      for (sim::PartyId to = 0; to < n_; ++to) {
+        if (to == sender_) continue;
+        const bool bit = to >= n_ / 2;
+        std::vector<ChainLink> chain;
+        chain.push_back({sender_, signer_->sign(dolev_strong_digest(sender_, bit))});
+        sender.send(sender_, to, "ds-relay", encode_chain(bit, chain));
+      }
+    }
+  }
+
+ private:
+  sim::PartyId sender_;
+  std::size_t n_ = 0;
+  bool corrupted_sender_ = false;
+  std::optional<crypto::MerkleSigner> signer_;
+};
+
+TEST(DolevStrong, HonestSenderDeliversBit) {
+  for (const bool bit : {false, true}) {
+    DolevStrongBroadcast proto(0, 1);
+    adversary::SilentAdversary adv;
+    sim::ExecutionConfig config;
+    config.seed = 5;
+    BitVec inputs(4);
+    inputs.set(0, bit);
+    const auto result = sim::run_execution(proto, params_for(4), inputs, adv, config);
+    const auto announced = extract_announced(result, {});
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w.get(0), bit);
+    for (std::size_t j = 1; j < 4; ++j) EXPECT_FALSE(announced.w.get(j));
+  }
+}
+
+TEST(DolevStrong, HonestSenderWithSilentCorruption) {
+  DolevStrongBroadcast proto(0, 1);
+  adversary::SilentAdversary adv;
+  sim::ExecutionConfig config;
+  config.seed = 6;
+  config.corrupted = {2};
+  BitVec inputs(4);
+  inputs.set(0, true);
+  const auto result = sim::run_execution(proto, params_for(4), inputs, adv, config);
+  const auto announced = extract_announced(result, {2});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_TRUE(announced.w.get(0));
+}
+
+TEST(DolevStrong, EquivocatingSenderStaysConsistent) {
+  // The whole point of Dolev-Strong: even when the sender equivocates,
+  // honest parties agree (here: both values are extracted via relays, so
+  // everyone falls back to the default 0 identically).
+  DolevStrongBroadcast proto(1, 1);
+  EquivocatingSender adv(1);
+  sim::ExecutionConfig config;
+  config.seed = 7;
+  config.corrupted = {1};
+  const auto result = sim::run_execution(proto, params_for(4), BitVec(4), adv, config);
+  EXPECT_TRUE(result.honest_outputs_consistent({1}));
+}
+
+TEST(DolevStrong, EquivocationAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    DolevStrongBroadcast proto(0, 1);
+    EquivocatingSender adv(0);
+    sim::ExecutionConfig config;
+    config.seed = seed;
+    config.corrupted = {0};
+    const auto result = sim::run_execution(proto, params_for(5), BitVec(5), adv, config);
+    EXPECT_TRUE(result.honest_outputs_consistent({0})) << "seed " << seed;
+  }
+}
+
+TEST(DolevStrong, ForgedChainRejected) {
+  // An adversary without the sender's key cannot make honest parties
+  // extract a value for an honest sender that never spoke.
+  class Forger final : public sim::Adversary {
+   public:
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override {
+      corrupted_ = info.corrupted;
+      signer_.emplace(drbg.generate(32), 3);
+      n_ = info.n;
+    }
+    void on_round(sim::Round round, const sim::AdversaryView&,
+                  sim::AdversarySender& sender) override {
+      if (round == 0)
+        sender.broadcast(corrupted_[0], "ds-root", crypto::digest_bytes(signer_->public_root()));
+      if (round == 1) {
+        // Forge a chain claiming sender 0 said 1, signed with OUR key.
+        std::vector<ChainLink> chain;
+        chain.push_back({0, signer_->sign(dolev_strong_digest(0, true))});
+        for (sim::PartyId to = 0; to < n_; ++to)
+          if (to != corrupted_[0]) sender.send(corrupted_[0], to, "ds-relay",
+                                               encode_chain(true, chain));
+      }
+    }
+    std::vector<sim::PartyId> corrupted_;
+    std::optional<crypto::MerkleSigner> signer_;
+    std::size_t n_ = 0;
+  };
+
+  // Sender 0 is honest with input 0; the forger tries to flip it to 1.
+  DolevStrongBroadcast proto(0, 1);
+  Forger adv;
+  sim::ExecutionConfig config;
+  config.seed = 8;
+  config.corrupted = {3};
+  const auto result = sim::run_execution(proto, params_for(4), BitVec(4), adv, config);
+  const auto announced = extract_announced(result, {3});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_FALSE(announced.w.get(0)) << "forged chain accepted";
+}
+
+TEST(DolevStrong, ChainWireRoundTrip) {
+  crypto::MerkleSigner signer(Bytes(32, 9), 2);
+  std::vector<ChainLink> chain;
+  chain.push_back({0, signer.sign(dolev_strong_digest(0, true))});
+  chain.push_back({2, signer.sign(dolev_strong_digest(0, true))});
+  const Bytes wire = encode_chain(true, chain);
+  const auto decoded = decode_chain(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->bit);
+  ASSERT_EQ(decoded->chain.size(), 2u);
+  EXPECT_EQ(decoded->chain[0].signer, 0u);
+  EXPECT_EQ(decoded->chain[1].signer, 2u);
+}
+
+TEST(DolevStrong, MalformedChainRejected) {
+  EXPECT_FALSE(decode_chain({}).has_value());
+  EXPECT_FALSE(decode_chain({0x01}).has_value());
+  ByteWriter w;
+  w.u8(1);
+  w.u32(1000);  // absurd count
+  EXPECT_FALSE(decode_chain(w.take()).has_value());
+}
+
+TEST(DolevStrong, RoundCountMatchesTolerance) {
+  EXPECT_EQ(DolevStrongBroadcast(0, 1).rounds(4), 3u);
+  EXPECT_EQ(DolevStrongBroadcast(0, 3).rounds(8), 5u);
+}
+
+}  // namespace
+}  // namespace simulcast::broadcast

@@ -1,0 +1,112 @@
+#include "broadcast/echo_broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::broadcast {
+namespace {
+
+sim::ProtocolParams params_for(std::size_t n) {
+  sim::ProtocolParams p;
+  p.n = n;
+  return p;
+}
+
+TEST(EchoBroadcast, HonestSenderDelivers) {
+  for (const bool bit : {false, true}) {
+    EchoBroadcast proto(0, 1);
+    adversary::SilentAdversary adv;
+    sim::ExecutionConfig config;
+    config.seed = 1;
+    BitVec inputs(4);
+    inputs.set(0, bit);
+    const auto result = sim::run_execution(proto, params_for(4), inputs, adv, config);
+    const auto announced = extract_announced(result, {});
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w.get(0), bit);
+  }
+}
+
+TEST(EchoBroadcast, HonestSenderSurvivesSilentCorruption) {
+  EchoBroadcast proto(0, 1);
+  adversary::SilentAdversary adv;
+  sim::ExecutionConfig config;
+  config.seed = 2;
+  config.corrupted = {3};
+  BitVec inputs(4);
+  inputs.set(0, true);
+  const auto result = sim::run_execution(proto, params_for(4), inputs, adv, config);
+  const auto announced = extract_announced(result, {3});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_TRUE(announced.w.get(0));
+}
+
+TEST(EchoBroadcast, EquivocatingSenderBreaksConsistency) {
+  // The documented weakness (contrast Dolev-Strong): a corrupted sender
+  // splits the inits and tailors its echoes so that one honest party
+  // reaches the quorum for 1 while another does not.
+  class SplitSender final : public sim::Adversary {
+   public:
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg&) override { n_ = info.n; }
+    void on_round(sim::Round round, const sim::AdversaryView&,
+                  sim::AdversarySender& sender) override {
+      if (round == 0) {
+        // Send 0 to party 1; 1 to parties 2 and 3.
+        sender.send(0, 1, "echo-init", {0});
+        sender.send(0, 2, "echo-init", {1});
+        sender.send(0, 3, "echo-init", {1});
+      }
+      if (round == 1) {
+        // Echo 1 toward party 2 only; echo 0 toward the rest.
+        sender.send(0, 2, "echo", {1});
+        sender.send(0, 1, "echo", {0});
+        sender.send(0, 3, "echo", {0});
+      }
+    }
+    std::size_t n_ = 0;
+  };
+
+  EchoBroadcast proto(0, 1);
+  SplitSender adv;
+  sim::ExecutionConfig config;
+  config.seed = 3;
+  config.corrupted = {0};
+  const auto result = sim::run_execution(proto, params_for(4), BitVec(4), adv, config);
+  // Party 2 sees echoes {P1:0, P2:1(self), P3:1, P0:1} -> three 1s = quorum.
+  // Party 3 sees {P1:0, P2:1, P3:1(self), P0:0} -> no quorum -> 0.
+  EXPECT_FALSE(result.honest_outputs_consistent({0}))
+      << "echo broadcast unexpectedly survived equivocation";
+}
+
+TEST(EchoBroadcast, TwoRoundsAlways) {
+  EXPECT_EQ(EchoBroadcast(0, 1).rounds(4), 2u);
+  EXPECT_EQ(EchoBroadcast(0, 5).rounds(16), 2u);
+}
+
+TEST(ParallelBroadcastHelpers, ExtractAndCorrectness) {
+  sim::ExecutionResult result;
+  result.outputs.resize(3);
+  result.outputs[0] = BitVec::from_string("101");
+  result.outputs[2] = BitVec::from_string("101");
+  const auto announced = extract_announced(result, {1});
+  EXPECT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "101");
+  EXPECT_TRUE(correct_for_honest(announced, BitVec::from_string("111"), {1}));
+  EXPECT_FALSE(correct_for_honest(announced, BitVec::from_string("011"), {1}));
+}
+
+TEST(ParallelBroadcastHelpers, InconsistentOutputsFlagged) {
+  sim::ExecutionResult result;
+  result.outputs.resize(2);
+  result.outputs[0] = BitVec::from_string("10");
+  result.outputs[1] = BitVec::from_string("01");
+  const auto announced = extract_announced(result, {});
+  EXPECT_FALSE(announced.consistent);
+  EXPECT_FALSE(correct_for_honest(announced, BitVec::from_string("10"), {}));
+}
+
+}  // namespace
+}  // namespace simulcast::broadcast

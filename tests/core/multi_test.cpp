@@ -1,0 +1,75 @@
+#include "core/multi.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast::core {
+namespace {
+
+TEST(ValueBroadcast, HonestRoundTrip) {
+  const ValueBroadcast vb("gennaro", 4, 8);
+  const std::vector<std::uint64_t> values = {200, 13, 0, 255};
+  const ValueBroadcastResult r = vb.run(values, 5);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.announced, values);
+  EXPECT_EQ(r.total_rounds, 8u * 4u);  // 8 sessions x 4 rounds
+}
+
+TEST(ValueBroadcast, AllProtocolsRoundTrip) {
+  for (const char* name : {"seq-broadcast", "cgma", "chor-rabin", "gennaro"}) {
+    const ValueBroadcast vb(name, 3, 4);
+    const std::vector<std::uint64_t> values = {9, 4, 15};
+    const ValueBroadcastResult r = vb.run(values, 7);
+    EXPECT_TRUE(r.consistent) << name;
+    EXPECT_EQ(r.announced, values) << name;
+  }
+}
+
+TEST(ValueBroadcast, SilentCorruptedPartyAnnouncesZero) {
+  const ValueBroadcast vb("gennaro", 4, 6);
+  const std::vector<std::uint64_t> values = {63, 21, 42, 7};
+  const ValueBroadcastResult r =
+      vb.run_with_adversary(values, {1}, adversary::silent_factory(), 11);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.announced, (std::vector<std::uint64_t>{63, 0, 42, 7}));
+}
+
+TEST(ValueBroadcast, CopyAdversaryCopiesWholeValueOnSeq) {
+  const ValueBroadcast vb("seq-broadcast", 4, 5);
+  const std::vector<std::uint64_t> values = {22, 3, 8, 1};
+  const ValueBroadcastResult r =
+      vb.run_with_adversary(values, {3}, adversary::copy_last_factory(0), 13);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.announced[3], 22u) << "bit-serial copy must reproduce the whole value";
+  EXPECT_EQ(r.announced[0], 22u);
+}
+
+TEST(ValueBroadcast, Validation) {
+  EXPECT_THROW(ValueBroadcast("gennaro", 4, 0), UsageError);
+  EXPECT_THROW(ValueBroadcast("gennaro", 4, 64), UsageError);
+  const ValueBroadcast vb("gennaro", 3, 4);
+  EXPECT_THROW((void)vb.run({1, 2}, 1), UsageError);            // wrong count
+  EXPECT_THROW((void)vb.run({1, 2, 16}, 1), UsageError);        // 16 needs 5 bits
+}
+
+TEST(ValueBroadcast, DeterministicPerSeed) {
+  const ValueBroadcast vb("chor-rabin", 3, 6);
+  const std::vector<std::uint64_t> values = {33, 12, 63};
+  const auto r1 = vb.run(values, 99);
+  const auto r2 = vb.run(values, 99);
+  EXPECT_EQ(r1.announced, r2.announced);
+  EXPECT_EQ(r1.total_messages, r2.total_messages);
+}
+
+TEST(ValueBroadcast, SingleBitDegeneratesToSession) {
+  const ValueBroadcast vb("gennaro", 3, 1);
+  const ValueBroadcastResult r = vb.run({1, 0, 1}, 21);
+  EXPECT_EQ(r.announced, (std::vector<std::uint64_t>{1, 0, 1}));
+  EXPECT_EQ(r.total_rounds, 4u);
+}
+
+}  // namespace
+}  // namespace simulcast::core

@@ -1,0 +1,106 @@
+#include "crypto/commitment.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast::crypto {
+namespace {
+
+class CommitmentSchemeTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<CommitmentScheme> scheme_ = make_commitment_scheme(GetParam());
+  HmacDrbg drbg_{1, "commit-test"};
+};
+
+TEST_P(CommitmentSchemeTest, CommitVerifyRoundTrip) {
+  const Bytes msg = {0x01, 0x02, 0x03};
+  const Opening op = scheme_->make_opening(msg, drbg_);
+  const Commitment c = scheme_->commit("party:0", op);
+  EXPECT_TRUE(scheme_->verify("party:0", c, op));
+}
+
+TEST_P(CommitmentSchemeTest, WrongLabelRejected) {
+  const Opening op = scheme_->make_opening({0x01}, drbg_);
+  const Commitment c = scheme_->commit("party:0", op);
+  EXPECT_FALSE(scheme_->verify("party:1", c, op));
+}
+
+TEST_P(CommitmentSchemeTest, WrongMessageRejected) {
+  const Opening op = scheme_->make_opening({0x01}, drbg_);
+  const Commitment c = scheme_->commit("p", op);
+  Opening tampered = op;
+  tampered.message = {0x02};
+  EXPECT_FALSE(scheme_->verify("p", c, tampered));
+}
+
+TEST_P(CommitmentSchemeTest, WrongRandomnessRejected) {
+  const Opening op = scheme_->make_opening({0x01}, drbg_);
+  const Commitment c = scheme_->commit("p", op);
+  Opening tampered = op;
+  tampered.randomness[0] ^= 1;
+  EXPECT_FALSE(scheme_->verify("p", c, tampered));
+}
+
+TEST_P(CommitmentSchemeTest, HidingDistinctRandomnessDistinctCommitments) {
+  // Two commitments to the same message are distinct (blinding works), so
+  // observing commitments does not identify equal inputs.
+  const Bytes msg = {0x01};
+  const Opening op1 = scheme_->make_opening(msg, drbg_);
+  const Opening op2 = scheme_->make_opening(msg, drbg_);
+  EXPECT_NE(scheme_->commit("p", op1).value, scheme_->commit("p", op2).value);
+}
+
+TEST_P(CommitmentSchemeTest, ZeroAndOneBitCommitmentsLookAlike) {
+  // Sanity hiding check: the commitment value itself cannot be trivially
+  // mapped back to the bit; here we only check sizes match.
+  const Opening op0 = scheme_->make_opening({0x00}, drbg_);
+  const Opening op1 = scheme_->make_opening({0x01}, drbg_);
+  EXPECT_EQ(scheme_->commit("p", op0).value.size(), scheme_->commit("p", op1).value.size());
+  EXPECT_EQ(scheme_->commit("p", op0).value.size(), scheme_->commitment_size());
+}
+
+TEST_P(CommitmentSchemeTest, EmptyMessageSupported) {
+  const Opening op = scheme_->make_opening({}, drbg_);
+  const Commitment c = scheme_->commit("p", op);
+  EXPECT_TRUE(scheme_->verify("p", c, op));
+}
+
+TEST_P(CommitmentSchemeTest, DeterministicGivenOpening) {
+  const Opening op = scheme_->make_opening({0x42}, drbg_);
+  EXPECT_EQ(scheme_->commit("p", op).value, scheme_->commit("p", op).value);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CommitmentSchemeTest,
+                         ::testing::Values("hash", "pedersen"),
+                         [](const auto& param_info) { return std::string(param_info.param); });
+
+TEST(CommitmentFactory, UnknownSchemeThrows) {
+  EXPECT_THROW(make_commitment_scheme("rsa"), UsageError);
+}
+
+TEST(CommitmentFactory, NamesMatch) {
+  EXPECT_EQ(make_commitment_scheme("hash")->name(), "hash-sha256");
+  EXPECT_EQ(make_commitment_scheme("pedersen")->name(), "pedersen");
+}
+
+TEST(PedersenCommitment, MalformedCommitmentRejected) {
+  PedersenCommitmentScheme scheme;
+  HmacDrbg drbg(2, "ped");
+  const Opening op = scheme.make_opening({0x01}, drbg);
+  Commitment c = scheme.commit("p", op);
+  c.value.pop_back();  // wrong size
+  EXPECT_FALSE(scheme.verify("p", c, op));
+}
+
+TEST(HashCommitment, MalformedCommitmentRejected) {
+  HashCommitmentScheme scheme;
+  HmacDrbg drbg(3, "hash");
+  const Opening op = scheme.make_opening({0x01}, drbg);
+  Commitment c = scheme.commit("p", op);
+  c.value.push_back(0x00);  // wrong size
+  EXPECT_FALSE(scheme.verify("p", c, op));
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

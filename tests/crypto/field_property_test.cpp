@@ -1,0 +1,90 @@
+// Randomized field-axiom sweeps for Fp61 and Zq (parameterized seeds).
+#include <gtest/gtest.h>
+
+#include "crypto/field.h"
+#include "crypto/group.h"
+#include "stats/rng.h"
+
+namespace simulcast::crypto {
+namespace {
+
+class FieldAxiomsTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  stats::Rng rng_{GetParam()};
+
+  Fp61 random_fp() { return Fp61(rng_()); }
+  Zq random_zq(std::uint64_t q) { return Zq(rng_(), q); }
+};
+
+TEST_P(FieldAxiomsTest, Fp61RingAxioms) {
+  for (int i = 0; i < 50; ++i) {
+    const Fp61 a = random_fp();
+    const Fp61 b = random_fp();
+    const Fp61 c = random_fp();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Fp61::zero(), a);
+    EXPECT_EQ(a * Fp61::one(), a);
+    EXPECT_EQ(a - a, Fp61::zero());
+    EXPECT_EQ(a + (-a), Fp61::zero());
+  }
+}
+
+TEST_P(FieldAxiomsTest, Fp61InverseAndPowLaws) {
+  for (int i = 0; i < 30; ++i) {
+    const Fp61 a = random_fp();
+    if (a == Fp61::zero()) continue;
+    EXPECT_EQ(a * a.inverse(), Fp61::one());
+    EXPECT_EQ(a.inverse().inverse(), a);
+    const std::uint64_t e1 = rng_.below(1000);
+    const std::uint64_t e2 = rng_.below(1000);
+    EXPECT_EQ(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    EXPECT_EQ(a.pow(e1).pow(e2), a.pow(e1 * e2));
+  }
+}
+
+TEST_P(FieldAxiomsTest, ZqRingAxioms) {
+  const std::uint64_t q = SchnorrGroup::standard().q();
+  for (int i = 0; i < 50; ++i) {
+    const Zq a = random_zq(q);
+    const Zq b = random_zq(q);
+    const Zq c = random_zq(q);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Zq(0, q));
+    EXPECT_EQ(a + (-a), Zq(0, q));
+  }
+}
+
+TEST_P(FieldAxiomsTest, ZqInverseLaws) {
+  const std::uint64_t q = SchnorrGroup::standard().q();
+  for (int i = 0; i < 30; ++i) {
+    const Zq a = random_zq(q);
+    if (a.value() == 0) continue;
+    EXPECT_EQ((a * a.inverse()).value(), 1u);
+    EXPECT_EQ(a.inverse().inverse(), a);
+  }
+}
+
+TEST_P(FieldAxiomsTest, Fp61MatchesWideIntegerReference) {
+  // Cross-check the Mersenne reduction against __int128 arithmetic.
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = rng_() % Fp61::kModulus;
+    const std::uint64_t y = rng_() % Fp61::kModulus;
+    const auto expected = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * y) % Fp61::kModulus);
+    EXPECT_EQ((Fp61(x) * Fp61(y)).value(), expected);
+    EXPECT_EQ((Fp61(x) + Fp61(y)).value(), (x + y) % Fp61::kModulus);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FieldAxiomsTest, ::testing::Values(1, 42, 31337, 0xFEED));
+
+}  // namespace
+}  // namespace simulcast::crypto

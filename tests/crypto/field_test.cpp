@@ -1,0 +1,118 @@
+#include "crypto/field.h"
+
+#include <gtest/gtest.h>
+
+namespace simulcast::crypto {
+namespace {
+
+TEST(Fp61, BasicArithmetic) {
+  const Fp61 a(5), b(7);
+  EXPECT_EQ((a + b).value(), 12u);
+  EXPECT_EQ((b - a).value(), 2u);
+  EXPECT_EQ((a * b).value(), 35u);
+  EXPECT_EQ((a - b).value(), Fp61::kModulus - 2);
+}
+
+TEST(Fp61, ReductionAtConstruction) {
+  EXPECT_EQ(Fp61(Fp61::kModulus).value(), 0u);
+  EXPECT_EQ(Fp61(Fp61::kModulus + 5).value(), 5u);
+  EXPECT_EQ(Fp61(~std::uint64_t{0}).value(), (~std::uint64_t{0}) % Fp61::kModulus);
+}
+
+TEST(Fp61, MultiplicationNearModulus) {
+  const Fp61 a(Fp61::kModulus - 1);
+  EXPECT_EQ((a * a).value(), 1u);  // (-1)^2 = 1
+  const Fp61 b(Fp61::kModulus - 2);
+  EXPECT_EQ((a * b).value(), 2u);  // (-1)(-2) = 2
+}
+
+TEST(Fp61, Negation) {
+  EXPECT_EQ((-Fp61(5)).value(), Fp61::kModulus - 5);
+  EXPECT_EQ((-Fp61(0)).value(), 0u);
+  EXPECT_EQ((Fp61(5) + (-Fp61(5))).value(), 0u);
+}
+
+TEST(Fp61, PowAndInverse) {
+  const Fp61 a(123456789);
+  EXPECT_EQ(a.pow(0), Fp61::one());
+  EXPECT_EQ(a.pow(1), a);
+  EXPECT_EQ(a.pow(2), a * a);
+  EXPECT_EQ(a * a.inverse(), Fp61::one());
+  EXPECT_THROW((void)Fp61::zero().inverse(), UsageError);
+}
+
+TEST(Fp61, FermatHolds) {
+  HmacDrbg drbg(1, "fp61");
+  for (int i = 0; i < 20; ++i) {
+    const Fp61 a = Fp61::sample(drbg);
+    if (a == Fp61::zero()) continue;
+    EXPECT_EQ(a.pow(Fp61::kModulus - 1), Fp61::one());
+  }
+}
+
+TEST(Fp61, SampleIsDeterministicPerDrbg) {
+  HmacDrbg a(9, "s"), b(9, "s");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(Fp61::sample(a), Fp61::sample(b));
+}
+
+TEST(Fp61, WithSameModulus) {
+  EXPECT_EQ(Fp61(3).with_same_modulus(10).value(), 10u);
+}
+
+TEST(Zq, BasicArithmetic) {
+  const std::uint64_t q = 101;
+  const Zq a(40, q), b(70, q);
+  EXPECT_EQ((a + b).value(), 9u);
+  EXPECT_EQ((a - b).value(), 71u);
+  EXPECT_EQ((a * b).value(), (40 * 70) % q);
+  EXPECT_EQ((-a).value(), 61u);
+}
+
+TEST(Zq, ModulusMismatchThrows) {
+  const Zq a(1, 101), b(1, 103);
+  EXPECT_THROW(a + b, UsageError);
+  EXPECT_THROW(a * b, UsageError);
+  EXPECT_THROW(a - b, UsageError);
+}
+
+TEST(Zq, DefaultConstructedIsInvalid) {
+  Zq a;
+  EXPECT_FALSE(a.valid());
+  EXPECT_THROW(a + a, UsageError);
+}
+
+TEST(Zq, InverseAndPow) {
+  const std::uint64_t q = 1799731385554161863ULL;
+  const Zq a(123456789, q);
+  EXPECT_EQ((a * a.inverse()).value(), 1u);
+  EXPECT_EQ(a.pow(q - 1).value(), 1u);
+  EXPECT_THROW((void)Zq(0, q).inverse(), UsageError);
+}
+
+TEST(Zq, ModulusRangeChecked) {
+  EXPECT_THROW(Zq(0, 1), UsageError);
+  EXPECT_NO_THROW(Zq(0, 2));
+}
+
+TEST(Zq, WithSameModulusAndSample) {
+  const Zq a(5, 101);
+  EXPECT_EQ(a.with_same_modulus(105).value(), 4u);
+  HmacDrbg drbg(3, "zq");
+  const Zq s = a.sample_same(drbg);
+  EXPECT_EQ(s.modulus(), 101u);
+  EXPECT_LT(s.value(), 101u);
+}
+
+TEST(Zq, CompoundAssignment) {
+  const std::uint64_t q = 97;
+  Zq a(10, q);
+  a += Zq(90, q);
+  EXPECT_EQ(a.value(), 3u);
+  a -= Zq(4, q);
+  EXPECT_EQ(a.value(), 96u);
+  a *= Zq(2, q);
+  EXPECT_EQ(a.value(), 95u);
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

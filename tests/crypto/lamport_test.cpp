@@ -1,0 +1,129 @@
+#include "crypto/lamport.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast::crypto {
+namespace {
+
+Bytes test_seed(std::uint8_t fill) {
+  return Bytes(32, fill);
+}
+
+TEST(Lamport, SignVerifyRoundTrip) {
+  const LamportKeyPair kp = lamport_keygen(test_seed(1));
+  const Digest msg = sha256("message");
+  const LamportSignature sig = lamport_sign(kp, msg);
+  EXPECT_TRUE(lamport_verify(kp.pk, msg, sig));
+}
+
+TEST(Lamport, WrongMessageRejected) {
+  const LamportKeyPair kp = lamport_keygen(test_seed(2));
+  const LamportSignature sig = lamport_sign(kp, sha256("a"));
+  EXPECT_FALSE(lamport_verify(kp.pk, sha256("b"), sig));
+}
+
+TEST(Lamport, WrongKeyRejected) {
+  const LamportKeyPair kp1 = lamport_keygen(test_seed(3));
+  const LamportKeyPair kp2 = lamport_keygen(test_seed(4));
+  const Digest msg = sha256("m");
+  EXPECT_FALSE(lamport_verify(kp2.pk, msg, lamport_sign(kp1, msg)));
+}
+
+TEST(Lamport, TamperedPreimageRejected) {
+  const LamportKeyPair kp = lamport_keygen(test_seed(5));
+  const Digest msg = sha256("m");
+  LamportSignature sig = lamport_sign(kp, msg);
+  sig.preimages[100][0] ^= 1;
+  EXPECT_FALSE(lamport_verify(kp.pk, msg, sig));
+}
+
+TEST(Lamport, MalformedSizesRejected) {
+  const LamportKeyPair kp = lamport_keygen(test_seed(6));
+  const Digest msg = sha256("m");
+  LamportSignature sig = lamport_sign(kp, msg);
+  sig.preimages.pop_back();
+  EXPECT_FALSE(lamport_verify(kp.pk, msg, sig));
+  std::vector<Digest> short_pk = kp.pk;
+  short_pk.pop_back();
+  EXPECT_FALSE(lamport_verify(short_pk, msg, lamport_sign(kp, msg)));
+}
+
+TEST(Lamport, BadSeedLengthThrows) {
+  EXPECT_THROW(lamport_keygen(Bytes(31, 0)), UsageError);
+}
+
+TEST(Lamport, KeygenDeterministic) {
+  const LamportKeyPair a = lamport_keygen(test_seed(7));
+  const LamportKeyPair b = lamport_keygen(test_seed(7));
+  EXPECT_EQ(a.pk.size(), kLamportChains);
+  for (std::size_t i = 0; i < a.pk.size(); ++i) EXPECT_TRUE(digest_equal(a.pk[i], b.pk[i]));
+}
+
+TEST(MerkleSigner, SignVerifyManyMessages) {
+  MerkleSigner signer(test_seed(8), 3);
+  EXPECT_EQ(signer.capacity(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const Digest msg = sha256("msg" + std::to_string(i));
+    const MerkleSignature sig = signer.sign(msg);
+    EXPECT_TRUE(merkle_verify(signer.public_root(), msg, sig)) << i;
+  }
+  EXPECT_EQ(signer.used(), 8u);
+}
+
+TEST(MerkleSigner, ExhaustionThrows) {
+  MerkleSigner signer(test_seed(9), 1);
+  (void)signer.sign(sha256("a"));
+  (void)signer.sign(sha256("b"));
+  EXPECT_THROW(signer.sign(sha256("c")), UsageError);
+}
+
+TEST(MerkleSigner, CrossSignerRejected) {
+  MerkleSigner s1(test_seed(10), 2);
+  MerkleSigner s2(test_seed(11), 2);
+  const Digest msg = sha256("m");
+  const MerkleSignature sig = s1.sign(msg);
+  EXPECT_FALSE(merkle_verify(s2.public_root(), msg, sig));
+}
+
+TEST(MerkleSigner, ReplayedKeyIndexMismatchRejected) {
+  MerkleSigner signer(test_seed(12), 2);
+  const Digest msg = sha256("m");
+  MerkleSignature sig = signer.sign(msg);
+  sig.key_index = 1;  // path still proves index 0
+  EXPECT_FALSE(merkle_verify(signer.public_root(), msg, sig));
+}
+
+TEST(MerkleSigner, HeightLimitEnforced) {
+  EXPECT_THROW(MerkleSigner(test_seed(13), 13), UsageError);
+}
+
+TEST(MerkleSignatureWire, RoundTrip) {
+  MerkleSigner signer(test_seed(14), 2);
+  const Digest msg = sha256("wire");
+  const MerkleSignature sig = signer.sign(msg);
+  const Bytes enc = encode_merkle_signature(sig);
+  const auto dec = decode_merkle_signature(enc);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(merkle_verify(signer.public_root(), msg, *dec));
+}
+
+TEST(MerkleSignatureWire, TruncatedRejected) {
+  MerkleSigner signer(test_seed(15), 1);
+  const MerkleSignature sig = signer.sign(sha256("x"));
+  Bytes enc = encode_merkle_signature(sig);
+  enc.resize(enc.size() / 2);
+  EXPECT_FALSE(decode_merkle_signature(enc).has_value());
+}
+
+TEST(MerkleSignatureWire, TrailingGarbageRejected) {
+  MerkleSigner signer(test_seed(16), 1);
+  const MerkleSignature sig = signer.sign(sha256("x"));
+  Bytes enc = encode_merkle_signature(sig);
+  enc.push_back(0x00);
+  EXPECT_FALSE(decode_merkle_signature(enc).has_value());
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

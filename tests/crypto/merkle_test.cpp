@@ -1,0 +1,104 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast::crypto {
+namespace {
+
+std::vector<Bytes> make_leaves(std::size_t count) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < count; ++i)
+    leaves.push_back({static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i * 7)});
+  return leaves;
+}
+
+TEST(MerkleTree, SingleLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], tree.path(0)));
+}
+
+TEST(MerkleTree, EmptyThrows) {
+  EXPECT_THROW(MerkleTree({}), UsageError);
+}
+
+TEST(MerkleTree, AllPathsVerifyPowerOfTwo) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.path(i))) << i;
+}
+
+TEST(MerkleTree, AllPathsVerifyNonPowerOfTwo) {
+  for (std::size_t count : {3u, 5u, 6u, 7u, 9u, 13u}) {
+    const auto leaves = make_leaves(count);
+    const MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], tree.path(i)))
+          << count << ":" << i;
+  }
+}
+
+TEST(MerkleTree, WrongLeafRejected) {
+  const auto leaves = make_leaves(4);
+  const MerkleTree tree(leaves);
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[1], tree.path(0)));
+}
+
+TEST(MerkleTree, WrongRootRejected) {
+  const auto leaves = make_leaves(4);
+  const MerkleTree tree(leaves);
+  Digest bad_root = tree.root();
+  bad_root[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify(bad_root, leaves[0], tree.path(0)));
+}
+
+TEST(MerkleTree, TamperedPathRejected) {
+  const auto leaves = make_leaves(8);
+  const MerkleTree tree(leaves);
+  MerklePath path = tree.path(3);
+  path.siblings[1][5] ^= 0xff;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[3], path));
+}
+
+TEST(MerkleTree, WrongIndexRejected) {
+  const auto leaves = make_leaves(4);
+  const MerkleTree tree(leaves);
+  MerklePath path = tree.path(0);
+  path.leaf_index = 1;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), leaves[0], path));
+}
+
+TEST(MerkleTree, PathIndexRangeChecked) {
+  const MerkleTree tree(make_leaves(4));
+  EXPECT_THROW(tree.path(4), UsageError);
+}
+
+TEST(MerkleTree, RootDependsOnAllLeaves) {
+  auto leaves = make_leaves(8);
+  const MerkleTree t1(leaves);
+  leaves[7][0] ^= 1;
+  const MerkleTree t2(leaves);
+  EXPECT_FALSE(digest_equal(t1.root(), t2.root()));
+}
+
+TEST(MerkleTree, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const MerkleTree t1(leaves);
+  std::swap(leaves[0], leaves[1]);
+  const MerkleTree t2(leaves);
+  EXPECT_FALSE(digest_equal(t1.root(), t2.root()));
+}
+
+TEST(MerkleTree, PathLengthIsLogarithmic) {
+  const MerkleTree tree(make_leaves(16));
+  EXPECT_EQ(tree.path(0).siblings.size(), 4u);
+  const MerkleTree tree2(make_leaves(5));  // padded to 8
+  EXPECT_EQ(tree2.path(0).siblings.size(), 3u);
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

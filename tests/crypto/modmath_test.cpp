@@ -1,0 +1,89 @@
+#include "crypto/modmath.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include "stats/rng.h"
+
+namespace simulcast::crypto {
+namespace {
+
+TEST(MulMod, SmallValues) {
+  EXPECT_EQ(mulmod(3, 4, 5), 2u);
+  EXPECT_EQ(mulmod(0, 7, 13), 0u);
+  EXPECT_EQ(mulmod(12, 12, 13), 1u);
+}
+
+TEST(MulMod, LargeValuesNoOverflow) {
+  const std::uint64_t m = 0xFFFFFFFFFFFFFFC5ULL;  // largest 64-bit prime
+  const std::uint64_t a = m - 1;
+  // (m-1)^2 mod m = 1
+  EXPECT_EQ(mulmod(a, a, m), 1u);
+}
+
+TEST(PowMod, SmallValues) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(5, 0, 7), 1u);
+  EXPECT_EQ(powmod(5, 1, 7), 5u);
+  EXPECT_EQ(powmod(0, 5, 7), 0u);
+  EXPECT_EQ(powmod(3, 100, 1), 0u);
+}
+
+TEST(PowMod, FermatLittleTheorem) {
+  stats::Rng rng(1);
+  const std::uint64_t p = 1000000007ULL;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = 1 + rng.below(p - 1);
+    EXPECT_EQ(powmod(a, p - 1, p), 1u);
+  }
+}
+
+TEST(InvMod, InverseProperty) {
+  stats::Rng rng(2);
+  const std::uint64_t p = 2305843009213693951ULL;  // 2^61 - 1
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = 1 + rng.below(p - 1);
+    EXPECT_EQ(mulmod(a, invmod(a, p), p), 1u);
+  }
+}
+
+TEST(InvMod, NonInvertibleThrows) {
+  EXPECT_THROW((void)invmod(0, 7), UsageError);
+  EXPECT_THROW((void)invmod(6, 9), UsageError);  // gcd(6,9)=3
+}
+
+TEST(InvMod, CompositeModulusCoprimeWorks) {
+  EXPECT_EQ(mulmod(7, invmod(7, 9), 9), 1u);
+}
+
+TEST(IsPrime, SmallNumbers) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_FALSE(is_prime_u64(91));  // 7 * 13
+}
+
+TEST(IsPrime, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime_u64(2305843009213693951ULL));  // 2^61 - 1 (Mersenne)
+  EXPECT_TRUE(is_prime_u64(0xFFFFFFFFFFFFFFC5ULL));   // 2^64 - 59
+  EXPECT_TRUE(is_prime_u64(3599462771108323727ULL));  // the standard safe prime p
+  EXPECT_TRUE(is_prime_u64(1799731385554161863ULL));  // its q = (p-1)/2
+}
+
+TEST(IsPrime, KnownComposites) {
+  EXPECT_FALSE(is_prime_u64(2305843009213693953ULL));  // 2^61 + 1
+  EXPECT_FALSE(is_prime_u64(3215031751ULL));           // strong pseudoprime to bases 2,3,5,7
+  EXPECT_FALSE(is_prime_u64(341550071728321ULL));      // pseudoprime to bases up to 17
+}
+
+TEST(IsPrime, CarmichaelNumbers) {
+  EXPECT_FALSE(is_prime_u64(561));
+  EXPECT_FALSE(is_prime_u64(41041));
+  EXPECT_FALSE(is_prime_u64(825265));
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

@@ -1,0 +1,85 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace simulcast::crypto {
+namespace {
+
+std::string hex_of(const Digest& d) {
+  return to_hex(digest_bytes(d));
+}
+
+// NIST FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(hex_of(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(msg.substr(0, split));
+    ctx.update(msg.substr(split));
+    EXPECT_EQ(ctx.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55, 56, 63, 64, 65 bytes cross the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 ctx;
+    for (char c : msg) ctx.update(std::string_view(&c, 1));
+    EXPECT_EQ(ctx.finish(), sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, TaggedHashSeparatesDomains) {
+  const Bytes data = {1, 2, 3};
+  EXPECT_FALSE(digest_equal(sha256_tagged("a", data), sha256_tagged("b", data)));
+  EXPECT_TRUE(digest_equal(sha256_tagged("a", data), sha256_tagged("a", data)));
+}
+
+TEST(Sha256, TaggedHashNoConcatenationAmbiguity) {
+  // domain "ab" + data "c" must differ from domain "a" + data "bc".
+  EXPECT_FALSE(digest_equal(sha256_tagged("ab", Bytes{'c'}), sha256_tagged("a", Bytes{'b', 'c'})));
+}
+
+TEST(Sha256, DigestEqualConstantTimeSemantics) {
+  Digest a = sha256("x");
+  Digest b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+TEST(Sha256, DigestBytesRoundTrip) {
+  const Digest d = sha256("roundtrip");
+  const Bytes b = digest_bytes(d);
+  ASSERT_EQ(b.size(), kSha256DigestSize);
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

@@ -1,0 +1,110 @@
+#include "crypto/vss.h"
+
+#include <gtest/gtest.h>
+
+namespace simulcast::crypto {
+namespace {
+
+class FeldmanTest : public ::testing::Test {
+ protected:
+  const SchnorrGroup& group_ = SchnorrGroup::standard();
+  FeldmanVss vss_{group_};
+  HmacDrbg drbg_{1, "vss-test"};
+  Zq secret_{424242, group_.q()};
+};
+
+TEST_F(FeldmanTest, DealVerifiesAllShares) {
+  const FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  ASSERT_EQ(deal.shares.size(), 5u);
+  EXPECT_TRUE(vss_.verify_commitments(deal.commitments, 2));
+  for (const auto& share : deal.shares)
+    EXPECT_TRUE(vss_.verify_share(deal.commitments, share)) << "share " << share.x;
+}
+
+TEST_F(FeldmanTest, TamperedShareRejected) {
+  const FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  Share<Zq> bad = deal.shares[0];
+  bad.y = bad.y + Zq(1, group_.q());
+  EXPECT_FALSE(vss_.verify_share(deal.commitments, bad));
+}
+
+TEST_F(FeldmanTest, ShareAtWrongPointRejected) {
+  const FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  Share<Zq> moved = deal.shares[0];
+  moved.x = deal.shares[1].x;
+  EXPECT_FALSE(vss_.verify_share(deal.commitments, moved));
+}
+
+TEST_F(FeldmanTest, ReconstructFromSubset) {
+  const FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  const std::vector<Share<Zq>> subset = {deal.shares[0], deal.shares[2], deal.shares[4]};
+  EXPECT_EQ(vss_.reconstruct(subset), secret_);
+}
+
+TEST_F(FeldmanTest, CommittedPublicValueIsGToSecret) {
+  const FeldmanDeal deal = vss_.deal(secret_, 3, 6, drbg_);
+  EXPECT_EQ(vss_.committed_public_value(deal.commitments), group_.exp_g(secret_));
+}
+
+TEST_F(FeldmanTest, CommitmentCountChecked) {
+  const FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  EXPECT_FALSE(vss_.verify_commitments(deal.commitments, 3));
+  EXPECT_FALSE(vss_.verify_commitments(deal.commitments, 1));
+}
+
+TEST_F(FeldmanTest, NonSubgroupCommitmentRejected) {
+  FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  // Replace a coefficient with a quadratic non-residue.
+  std::uint64_t bad = 2;
+  while (group_.is_element(bad)) ++bad;
+  deal.commitments.coefficients[1] = bad;
+  EXPECT_FALSE(vss_.verify_commitments(deal.commitments, 2));
+}
+
+TEST_F(FeldmanTest, WrongFieldSecretThrows) {
+  EXPECT_THROW(vss_.deal(Zq(5, 101), 2, 5, drbg_), UsageError);
+}
+
+TEST_F(FeldmanTest, ConsistencyAcrossDistinctDeals) {
+  // Two deals of the same secret must still verify independently (fresh
+  // randomness, fresh commitments).
+  const FeldmanDeal d1 = vss_.deal(secret_, 2, 5, drbg_);
+  const FeldmanDeal d2 = vss_.deal(secret_, 2, 5, drbg_);
+  EXPECT_NE(d1.commitments.coefficients[1], d2.commitments.coefficients[1]);
+  EXPECT_FALSE(vss_.verify_share(d1.commitments, d2.shares[0]) &&
+               vss_.verify_share(d1.commitments, d2.shares[1]) &&
+               vss_.verify_share(d1.commitments, d2.shares[2]));
+}
+
+TEST_F(FeldmanTest, WireEncodingRoundTrip) {
+  const FeldmanDeal deal = vss_.deal(secret_, 2, 5, drbg_);
+  const Bytes enc = encode_feldman_commitments(deal.commitments);
+  const FeldmanCommitments dec = decode_feldman_commitments(enc);
+  EXPECT_EQ(dec.coefficients, deal.commitments.coefficients);
+
+  const Bytes senc = encode_share(deal.shares[3]);
+  const Share<Zq> sdec = decode_share(senc, group_.q());
+  EXPECT_EQ(sdec.x, deal.shares[3].x);
+  EXPECT_EQ(sdec.y, deal.shares[3].y);
+}
+
+TEST_F(FeldmanTest, OversizedCommitmentDecodingRejected) {
+  ByteWriter w;
+  w.u32(100000);
+  EXPECT_THROW(decode_feldman_commitments(w.data()), ProtocolError);
+}
+
+TEST_F(FeldmanTest, ThresholdPropertyAcrossParameters) {
+  for (std::size_t n : {3u, 5u, 9u}) {
+    for (std::size_t t = 1; t < n; ++t) {
+      const Zq s(1000 + n * 10 + t, group_.q());
+      const FeldmanDeal deal = vss_.deal(s, t, n, drbg_);
+      std::vector<Share<Zq>> subset(deal.shares.begin(),
+                                    deal.shares.begin() + static_cast<std::ptrdiff_t>(t + 1));
+      EXPECT_EQ(vss_.reconstruct(subset), s) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simulcast::crypto

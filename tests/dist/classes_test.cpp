@@ -1,0 +1,146 @@
+// Tests of the Section 5 class machinery, including the containment chain
+// of Claim 5.6 on concrete witnesses.
+#include "dist/classes.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast::dist {
+namespace {
+
+constexpr double kTau = 0.02;
+
+TEST(IsProduct, AcceptsProducts) {
+  EXPECT_TRUE(is_product(stats::ExactDist::product({0.3, 0.7, 0.5}), kTau).member);
+  EXPECT_TRUE(is_product(stats::ExactDist::uniform(4), kTau).member);
+  EXPECT_TRUE(is_product(stats::ExactDist::singleton(BitVec::from_string("101")), kTau).member);
+}
+
+TEST(IsProduct, RejectsCopyDistribution) {
+  const NoisyCopyEnsemble copy(3, 0.0);
+  const auto m = is_product(*copy.exact(), kTau);
+  EXPECT_FALSE(m.member);
+  EXPECT_GT(m.score, 0.2);
+}
+
+TEST(IsProduct, RejectsParityDistribution) {
+  const EvenParityEnsemble parity(4);
+  EXPECT_FALSE(is_product(*parity.exact(), kTau).member);
+}
+
+TEST(LocalIndependence, AcceptsProductsAndSingletons) {
+  EXPECT_TRUE(is_locally_independent(stats::ExactDist::product({0.2, 0.5, 0.9}), kTau).member);
+  EXPECT_TRUE(
+      is_locally_independent(stats::ExactDist::singleton(BitVec::from_string("11")), kTau).member);
+  EXPECT_TRUE(is_locally_independent(stats::ExactDist::uniform(3), kTau).member);
+}
+
+TEST(LocalIndependence, RejectsCopyAndParity) {
+  EXPECT_FALSE(is_locally_independent(*NoisyCopyEnsemble(3, 0.0).exact(), kTau).member);
+  EXPECT_FALSE(is_locally_independent(*EvenParityEnsemble(3).exact(), kTau).member);
+}
+
+TEST(LocalIndependence, NearProductIsAccepted) {
+  // eps = 0.49 noisy copy is within 0.02 of uniform in conditional gaps.
+  EXPECT_TRUE(is_locally_independent(*NoisyCopyEnsemble(3, 0.495).exact(), kTau).member);
+}
+
+TEST(LocalIndependence, WitnessIsMeaningful) {
+  const auto m = is_locally_independent(*NoisyCopyEnsemble(3, 0.0).exact(), kTau);
+  EXPECT_FALSE(m.member);
+  EXPECT_NE(m.witness.find("B="), std::string::npos);
+}
+
+TEST(LocalIndependence, ExhaustiveLimitEnforced) {
+  EXPECT_THROW((void)is_locally_independent(stats::ExactDist::uniform(13), kTau), UsageError);
+}
+
+TEST(ComputationalIndependence, PrfCorrelatedPassesWithoutKey) {
+  // The E1 witness: statistically far from every product, yet accepted by
+  // the keyless distinguisher family.
+  const PrfCorrelatedEnsemble prf(5, 0);
+  const auto exact = *prf.exact();
+  EXPECT_FALSE(is_product(exact, kTau).member);
+  EXPECT_FALSE(is_locally_independent(exact, kTau).member);
+  const auto m =
+      is_computationally_independent(exact, default_distinguishers(5), 0.1);
+  EXPECT_TRUE(m.member) << m.witness;
+}
+
+TEST(ComputationalIndependence, PrfCorrelatedFailsWithKeyedDistinguisher) {
+  // Handing the family the PRF key (the paper's "poly-time" adversary
+  // would have it only if it is public) breaks the computational
+  // independence immediately - the separation is real, not a tester gap.
+  const auto prf = std::make_shared<PrfCorrelatedEnsemble>(5, 0);
+  auto family = default_distinguishers(5);
+  family.push_back({"keyed-prf", [prf](const BitVec& v) {
+                      const BitVec prefix(4, v.packed());
+                      return v.get(4) == prf->prf_bit(prefix);
+                    }});
+  const auto m = is_computationally_independent(*prf->exact(), family, 0.1);
+  EXPECT_FALSE(m.member);
+  EXPECT_GT(m.score, 0.3);
+}
+
+TEST(ComputationalIndependence, CopyFailsEvenWithoutKey) {
+  // The plain copy correlation is detected by the default family (the
+  // xor distinguisher), so it is outside D(CR) - Lemma 5.2 fuel.
+  const NoisyCopyEnsemble copy(3, 0.0);
+  const auto m = is_computationally_independent(*copy.exact(), default_distinguishers(3), kTau);
+  EXPECT_FALSE(m.member);
+}
+
+TEST(StatisticalSingleton, DetectsPointMassesOnly) {
+  EXPECT_TRUE(
+      is_statistically_singleton(stats::ExactDist::singleton(BitVec::from_string("01")), kTau)
+          .member);
+  EXPECT_FALSE(is_statistically_singleton(stats::ExactDist::uniform(2), kTau).member);
+  // A 99%-1% mixture is tau-close to a singleton for tau = 0.02.
+  const auto a = std::make_shared<SingletonEnsemble>(BitVec::from_string("11"));
+  const auto b = std::make_shared<SingletonEnsemble>(BitVec::from_string("00"));
+  EXPECT_TRUE(is_statistically_singleton(*MixtureEnsemble(a, b, 0.99).exact(), kTau).member);
+  EXPECT_FALSE(is_statistically_singleton(*MixtureEnsemble(a, b, 0.9).exact(), kTau).member);
+}
+
+TEST(Classify, Claim56ContainmentChainOnWitnesses) {
+  // Singleton and Uniform are in every class.
+  for (const auto* e : {"singleton", "uniform"}) {
+    std::unique_ptr<InputEnsemble> ens;
+    if (std::string(e) == "singleton")
+      ens = std::make_unique<SingletonEnsemble>(BitVec::from_string("1010"));
+    else
+      ens = make_uniform(4);
+    const ClassReport r = classify(*ens, kTau);
+    EXPECT_TRUE(r.locally_independent.member) << e;
+    EXPECT_TRUE(r.computationally_independent.member) << e;
+  }
+  // D(G) strict in D(CR): PRF witness is in D(CR) \ D(G).
+  const ClassReport prf = classify(PrfCorrelatedEnsemble(5, 0), 0.1);
+  EXPECT_FALSE(prf.locally_independent.member);
+  EXPECT_TRUE(prf.computationally_independent.member);
+  // D(CR) strict in D(Sb) = All: the copy witness is outside D(CR).
+  const ClassReport copy = classify(NoisyCopyEnsemble(4, 0.0), kTau);
+  EXPECT_FALSE(copy.computationally_independent.member);
+}
+
+TEST(Classify, RequiresExactPmf) {
+  class NoPmf final : public InputEnsemble {
+   public:
+    [[nodiscard]] std::string name() const override { return "no-pmf"; }
+    [[nodiscard]] std::size_t bits() const override { return 2; }
+    [[nodiscard]] BitVec sample(stats::Rng&) const override { return BitVec(2); }
+    [[nodiscard]] std::optional<stats::ExactDist> exact() const override { return std::nullopt; }
+  };
+  EXPECT_THROW((void)classify(NoPmf{}, kTau), UsageError);
+}
+
+TEST(DefaultDistinguishers, CoverageAndNaming) {
+  const auto family = default_distinguishers(3);
+  // 3 bits + 3 pairs * 2 + parity + majority = 11.
+  EXPECT_EQ(family.size(), 11u);
+  for (const auto& d : family) EXPECT_FALSE(d.name.empty());
+}
+
+}  // namespace
+}  // namespace simulcast::dist

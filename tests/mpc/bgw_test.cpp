@@ -1,0 +1,175 @@
+#include "mpc/bgw.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/error.h"
+#include "stats/rng.h"
+
+namespace simulcast::mpc {
+namespace {
+
+using crypto::Fp61;
+
+TEST(BgwEngine, ConstructionValidation) {
+  EXPECT_THROW(BgwEngine(2, 1, 1), UsageError);   // n < 3
+  EXPECT_THROW(BgwEngine(4, 2, 1), UsageError);   // 2t >= n
+  EXPECT_THROW(BgwEngine(5, 0, 1), UsageError);   // t = 0
+  EXPECT_NO_THROW(BgwEngine(5, 2, 1));
+  EXPECT_NO_THROW(BgwEngine(3, 1, 1));
+}
+
+TEST(BgwEngine, ShareOpenRoundTrip) {
+  BgwEngine engine(5, 2, 7);
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{42}, Fp61::kModulus - 1}) {
+    const SharedValue s = engine.share(Fp61(v));
+    EXPECT_EQ(engine.open(s), Fp61(v)) << v;
+  }
+}
+
+TEST(BgwEngine, OpenWithAnySubsetAgrees) {
+  BgwEngine engine(6, 2, 8);
+  const SharedValue s = engine.share(Fp61(31337));
+  std::vector<bool> pick(6, false);
+  std::fill(pick.begin(), pick.begin() + 3, true);
+  do {
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < 6; ++i)
+      if (pick[i]) subset.push_back(i);
+    EXPECT_EQ(engine.open_with(s, subset), Fp61(31337));
+  } while (std::prev_permutation(pick.begin(), pick.end()));
+}
+
+TEST(BgwEngine, LinearOperations) {
+  BgwEngine engine(5, 2, 9);
+  const SharedValue a = engine.share(Fp61(100));
+  const SharedValue b = engine.share(Fp61(23));
+  EXPECT_EQ(engine.open(engine.add(a, b)), Fp61(123));
+  EXPECT_EQ(engine.open(engine.sub(a, b)), Fp61(77));
+  EXPECT_EQ(engine.open(engine.scale(a, Fp61(3))), Fp61(300));
+  EXPECT_EQ(engine.open(engine.add_constant(a, Fp61(11))), Fp61(111));
+}
+
+TEST(BgwEngine, MultiplicationCorrect) {
+  BgwEngine engine(5, 2, 10);
+  stats::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t x = rng.below(1u << 20);
+    const std::uint64_t y = rng.below(1u << 20);
+    const SharedValue a = engine.share(Fp61(x));
+    const SharedValue b = engine.share(Fp61(y));
+    EXPECT_EQ(engine.open(engine.mul(a, b)), Fp61(x) * Fp61(y));
+  }
+}
+
+TEST(BgwEngine, MultiplicationDepthComposes) {
+  // ((a*b)*c)*d with large values exercises repeated degree reduction.
+  BgwEngine engine(7, 3, 11);
+  const SharedValue a = engine.share(Fp61(1234567));
+  const SharedValue b = engine.share(Fp61(7654321));
+  const SharedValue c = engine.share(Fp61(314159));
+  const SharedValue d = engine.share(Fp61(271828));
+  const SharedValue abcd = engine.mul(engine.mul(engine.mul(a, b), c), d);
+  EXPECT_EQ(engine.open(abcd), Fp61(1234567) * Fp61(7654321) * Fp61(314159) * Fp61(271828));
+  EXPECT_EQ(engine.rounds_used(), 3u);
+}
+
+TEST(BgwEngine, ProductOfSharesStaysHiddenUntilOpen) {
+  // Degree reduction must yield a fresh degree-t sharing: opening with only
+  // t shares of the product fails to determine it (statistical check).
+  BgwEngine engine(5, 2, 12);
+  const SharedValue a = engine.share(Fp61(3));
+  const SharedValue b = engine.share(Fp61(5));
+  const SharedValue ab = engine.mul(a, b);
+  // Reconstruct from exactly t+1 = 3 shares: correct.
+  EXPECT_EQ(engine.open_with(ab, {0, 1, 2}), Fp61(15));
+  EXPECT_EQ(engine.open_with(ab, {2, 3, 4}), Fp61(15));
+}
+
+TEST(BgwEngine, BitXorTruthTable) {
+  BgwEngine engine(5, 2, 13);
+  for (const bool x : {false, true}) {
+    for (const bool y : {false, true}) {
+      const SharedValue a = engine.share(Fp61(x ? 1 : 0));
+      const SharedValue b = engine.share(Fp61(y ? 1 : 0));
+      EXPECT_EQ(engine.open(engine.bit_xor(a, b)), Fp61((x != y) ? 1 : 0))
+          << x << "^" << y;
+    }
+  }
+}
+
+TEST(BgwEngine, BitAndTruthTable) {
+  BgwEngine engine(5, 2, 14);
+  for (const bool x : {false, true}) {
+    for (const bool y : {false, true}) {
+      const SharedValue a = engine.share(Fp61(x ? 1 : 0));
+      const SharedValue b = engine.share(Fp61(y ? 1 : 0));
+      EXPECT_EQ(engine.open(engine.bit_and(a, b)), Fp61((x && y) ? 1 : 0));
+    }
+  }
+}
+
+TEST(BgwEngine, BitNotTruthTable) {
+  BgwEngine engine(5, 2, 15);
+  EXPECT_EQ(engine.open(engine.bit_not(engine.share(Fp61(0)))), Fp61(1));
+  EXPECT_EQ(engine.open(engine.bit_not(engine.share(Fp61(1)))), Fp61(0));
+}
+
+TEST(BgwEngine, XorChainComputesParity) {
+  // The g-circuit fragment: XOR of many shared bits.
+  BgwEngine engine(5, 2, 16);
+  stats::Rng rng(2);
+  for (int rep = 0; rep < 5; ++rep) {
+    bool expected = false;
+    SharedValue acc = engine.share(Fp61(0));
+    for (int i = 0; i < 8; ++i) {
+      const bool bit = rng.bit();
+      expected = expected != bit;
+      acc = engine.bit_xor(acc, engine.share(Fp61(bit ? 1 : 0)));
+    }
+    EXPECT_EQ(engine.open(acc), Fp61(expected ? 1 : 0));
+  }
+}
+
+TEST(BgwEngine, ThetaGCircuitMatchesReference) {
+  // End-to-end: evaluate g's |L| = 2 branch on shares and compare against
+  // protocols/theta.h's reference implementation semantics:
+  //   y = XOR_{i not in L} x_i;  w_l1 = r;  w_l2 = r XOR y.
+  BgwEngine engine(5, 2, 17);
+  stats::Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<bool> x(5);
+    for (auto&& xi : x) xi = rng.bit();
+    const bool r = rng.bit();
+    // Share everything.
+    std::vector<SharedValue> shares;
+    shares.reserve(5);
+    for (const bool xi : x) shares.push_back(engine.share(Fp61(xi ? 1 : 0)));
+    const SharedValue r_share = engine.share(Fp61(r ? 1 : 0));
+    // y over parties {0, 2, 4} (L = {1, 3}).
+    SharedValue y = engine.bit_xor(engine.bit_xor(shares[0], shares[2]), shares[4]);
+    const SharedValue w_l2 = engine.bit_xor(r_share, y);
+    const bool expected_y = (x[0] != x[2]) != x[4];
+    EXPECT_EQ(engine.open(y), Fp61(expected_y ? 1 : 0));
+    EXPECT_EQ(engine.open(w_l2), Fp61((r != expected_y) ? 1 : 0));
+  }
+}
+
+TEST(BgwEngine, WrongWidthRejected) {
+  BgwEngine e5(5, 2, 18);
+  BgwEngine e7(7, 3, 19);
+  const SharedValue a = e5.share(Fp61(1));
+  EXPECT_THROW((void)e7.open(a), UsageError);
+  EXPECT_THROW((void)e7.add(a, a), UsageError);
+}
+
+TEST(BgwEngine, OpenNeedsEnoughShares) {
+  BgwEngine engine(5, 2, 20);
+  const SharedValue a = engine.share(Fp61(9));
+  EXPECT_THROW((void)engine.open_with(a, {0, 1}), UsageError);
+  EXPECT_THROW((void)engine.open_with(a, {0, 1, 9}), UsageError);
+}
+
+}  // namespace
+}  // namespace simulcast::mpc

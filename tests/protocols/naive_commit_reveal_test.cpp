@@ -1,0 +1,159 @@
+#include "protocols/naive_commit_reveal.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::protocols {
+namespace {
+
+class NcrTest : public ::testing::Test {
+ protected:
+  NaiveCommitRevealProtocol proto_;
+  crypto::HashCommitmentScheme scheme_;
+
+  sim::ProtocolParams params_for(std::size_t n) {
+    sim::ProtocolParams p;
+    p.n = n;
+    p.commitments = &scheme_;
+    return p;
+  }
+
+  broadcast::Announced run(const BitVec& inputs, sim::Adversary& adv,
+                           std::vector<sim::PartyId> corrupted, std::uint64_t seed = 1) {
+    sim::ExecutionConfig config;
+    config.seed = seed;
+    config.corrupted = corrupted;
+    const auto result =
+        sim::run_execution(proto_, params_for(inputs.size()), inputs, adv, config);
+    return broadcast::extract_announced(result, corrupted);
+  }
+};
+
+TEST_F(NcrTest, HonestExecutionAllInputs) {
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const BitVec inputs(4, bits);
+    adversary::SilentAdversary adv;
+    const auto announced = run(inputs, adv, {});
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w, inputs);
+  }
+}
+
+TEST_F(NcrTest, TwoRoundsOnly) {
+  EXPECT_EQ(proto_.rounds(4), 2u);
+  EXPECT_EQ(proto_.rounds(64), 2u);
+}
+
+TEST_F(NcrTest, SilentCorruptedDefaultsToZero) {
+  adversary::SilentAdversary adv;
+  const auto announced = run(BitVec::from_string("111"), adv, {0});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "011");
+}
+
+TEST_F(NcrTest, SelectiveAbortTracksVictim) {
+  // The attack the protocol cannot resist: the aborter's announced value
+  // equals the victim's bit in every execution.
+  for (const bool victim_bit : {false, true}) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      adversary::SelectiveAbortAdversary adv(0, scheme_);
+      BitVec inputs = BitVec::from_string("0110");
+      inputs.set(0, victim_bit);
+      sim::ExecutionConfig config;
+      config.seed = seed;
+      config.corrupted = {3};
+      const auto result = sim::run_execution(proto_, params_for(4), inputs, adv, config);
+      const auto announced = broadcast::extract_announced(result, {3});
+      ASSERT_TRUE(announced.consistent);
+      EXPECT_EQ(announced.w.get(3), victim_bit) << "seed " << seed;
+    }
+  }
+}
+
+TEST_F(NcrTest, CopiedCommitmentFailsLabelBinding) {
+  // Copying an honest commitment verbatim cannot be opened under the
+  // copier's label, so the copier is announced as 0.
+  class CommitmentCopier final : public sim::Adversary {
+   public:
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg&) override {
+      corrupted_ = info.corrupted;
+    }
+    void on_round(sim::Round round, const sim::AdversaryView& view,
+                  sim::AdversarySender& sender) override {
+      if (round == 0) {
+        for (const sim::Message& m : view.rushed) {
+          if (m.tag == kNcrCommitTag && m.from == 0) {
+            sender.broadcast(corrupted_[0], kNcrCommitTag, m.payload);
+            return;
+          }
+        }
+      }
+      if (round == 1) {
+        // Replay the victim's opening too.
+        for (const sim::Message& m : view.rushed) {
+          if (m.tag == kNcrOpenTag && m.from == 0) {
+            sender.broadcast(corrupted_[0], kNcrOpenTag, m.payload);
+            return;
+          }
+        }
+      }
+    }
+    std::vector<sim::PartyId> corrupted_;
+  };
+
+  CommitmentCopier adv;
+  const auto announced = run(BitVec::from_string("1011"), adv, {2});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_FALSE(announced.w.get(2)) << "copied commitment must not verify under copier's label";
+  EXPECT_TRUE(announced.w.get(0));
+}
+
+TEST_F(NcrTest, MalformedOpeningIgnored) {
+  class GarbageOpener final : public sim::Adversary {
+   public:
+    explicit GarbageOpener(const crypto::CommitmentScheme& scheme) : scheme_(&scheme) {}
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override {
+      corrupted_ = info.corrupted;
+      drbg_ = &drbg;
+    }
+    void on_round(sim::Round round, const sim::AdversaryView&,
+                  sim::AdversarySender& sender) override {
+      if (round == 0) {
+        const crypto::Opening op = scheme_->make_opening({1}, *drbg_);
+        op_ = op;
+        sender.broadcast(corrupted_[0], kNcrCommitTag,
+                         scheme_->commit(ncr_label(corrupted_[0]), op).value);
+      }
+      if (round == 1) sender.broadcast(corrupted_[0], kNcrOpenTag, {0xde, 0xad});
+    }
+    const crypto::CommitmentScheme* scheme_;
+    std::vector<sim::PartyId> corrupted_;
+    crypto::HmacDrbg* drbg_ = nullptr;
+    std::optional<crypto::Opening> op_;
+  };
+
+  GarbageOpener adv(scheme_);
+  const auto announced = run(BitVec::from_string("111"), adv, {1});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "101");
+}
+
+TEST_F(NcrTest, WorksWithPedersenBackend) {
+  crypto::PedersenCommitmentScheme pedersen;
+  sim::ProtocolParams p;
+  p.n = 3;
+  p.commitments = &pedersen;
+  adversary::SilentAdversary adv;
+  sim::ExecutionConfig config;
+  config.seed = 2;
+  const auto result = sim::run_execution(proto_, p, BitVec::from_string("101"), adv, config);
+  const auto announced = broadcast::extract_announced(result, {});
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "101");
+}
+
+}  // namespace
+}  // namespace simulcast::protocols

@@ -1,0 +1,120 @@
+// Property sweeps: the Definition 3.1 contract (consistency + correctness)
+// must hold for EVERY registered protocol across party counts, inputs,
+// seeds and corruption patterns.  Parameterized over (protocol, n).
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "core/registry.h"
+#include "sim/network.h"
+#include "stats/rng.h"
+
+namespace simulcast::protocols {
+namespace {
+
+using Param = std::tuple<std::string, std::size_t>;
+
+class ProtocolContractTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<sim::ParallelBroadcastProtocol> proto_ =
+      core::make_protocol(std::get<0>(GetParam()));
+  std::size_t n_ = std::get<1>(GetParam());
+
+  sim::ProtocolParams params() const {
+    sim::ProtocolParams p;
+    p.n = n_;
+    return p;
+  }
+
+  broadcast::Announced run(const BitVec& inputs, sim::Adversary& adv,
+                           std::vector<sim::PartyId> corrupted, std::uint64_t seed) {
+    sim::ExecutionConfig config;
+    config.seed = seed;
+    config.corrupted = corrupted;
+    const auto result = sim::run_execution(*proto_, params(), inputs, adv, config);
+    return broadcast::extract_announced(result, corrupted);
+  }
+};
+
+TEST_P(ProtocolContractTest, HonestConsistencyAndCorrectness) {
+  stats::Rng rng(std::get<1>(GetParam()));
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    BitVec inputs(n_);
+    for (std::size_t i = 0; i < n_; ++i) inputs.set(i, rng.bit());
+    adversary::SilentAdversary adv;
+    const auto announced = run(inputs, adv, {}, seed);
+    ASSERT_TRUE(announced.consistent) << "seed " << seed;
+    EXPECT_EQ(announced.w, inputs) << "seed " << seed;
+  }
+}
+
+TEST_P(ProtocolContractTest, SilentCorruptionKeepsContract) {
+  if (proto_->max_corruptions(n_) == 0) GTEST_SKIP() << "no corruption budget at this n";
+  stats::Rng rng(7 * n_);
+  BitVec inputs(n_);
+  for (std::size_t i = 0; i < n_; ++i) inputs.set(i, true);
+  const sim::PartyId corrupted = rng.below(n_);
+  adversary::SilentAdversary adv;
+  const auto announced = run(inputs, adv, {corrupted}, 17);
+  ASSERT_TRUE(announced.consistent);
+  // Corrupted coordinate defaults to 0; honest coordinates stay correct.
+  for (std::size_t i = 0; i < n_; ++i)
+    EXPECT_EQ(announced.w.get(i), i != corrupted) << "coordinate " << i;
+}
+
+TEST_P(ProtocolContractTest, PassiveCorruptionIndistinguishableFromHonest) {
+  if (proto_->max_corruptions(n_) == 0) GTEST_SKIP() << "no corruption budget at this n";
+  stats::Rng rng(11 * n_);
+  BitVec inputs(n_);
+  for (std::size_t i = 0; i < n_; ++i) inputs.set(i, rng.bit());
+  adversary::PassiveAdversary adv(*proto_, params());
+  const auto announced = run(inputs, adv, {n_ - 1}, 23);
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w, inputs);
+}
+
+TEST_P(ProtocolContractTest, MaxCorruptionBudgetStillConsistent) {
+  const std::size_t t = proto_->max_corruptions(n_);
+  if (t == 0) GTEST_SKIP() << "no corruption budget at this n";
+  std::vector<sim::PartyId> corrupted;
+  for (std::size_t i = 0; i < t; ++i) corrupted.push_back(i);
+  BitVec inputs(n_);
+  for (std::size_t i = 0; i < n_; ++i) inputs.set(i, true);
+  adversary::SilentAdversary adv;
+  const auto announced = run(inputs, adv, corrupted, 31);
+  ASSERT_TRUE(announced.consistent);
+  for (std::size_t i = t; i < n_; ++i) EXPECT_TRUE(announced.w.get(i));
+}
+
+TEST_P(ProtocolContractTest, ExecutedRoundsMatchDeclaration) {
+  adversary::SilentAdversary adv;
+  sim::ExecutionConfig config;
+  config.seed = 37;
+  const auto result = sim::run_execution(*proto_, params(), BitVec(n_), adv, config);
+  EXPECT_EQ(result.rounds, proto_->rounds(n_));
+}
+
+std::vector<Param> sweep_params() {
+  std::vector<Param> params;
+  for (const std::string& name : core::protocol_names()) {
+    for (const std::size_t n : {2u, 3u, 4u, 5u, 7u}) {
+      // seq-broadcast-ds at n = 7 runs 7 Dolev-Strong instances with heavy
+      // signatures; cap it at n = 4 to keep the suite fast.
+      if (name == "seq-broadcast-ds" && n > 4) continue;
+      params.emplace_back(name, n);
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocolsAllSizes, ProtocolContractTest,
+                         ::testing::ValuesIn(sweep_params()), [](const auto& sweep_info) {
+                           std::string s = std::get<0>(sweep_info.param) + "_n" +
+                                           std::to_string(std::get<1>(sweep_info.param));
+                           for (char& c : s)
+                             if (c == '-') c = '_';
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace simulcast::protocols

@@ -1,0 +1,137 @@
+#include "protocols/seq_broadcast.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::protocols {
+namespace {
+
+sim::ProtocolParams params_for(std::size_t n) {
+  sim::ProtocolParams p;
+  p.n = n;
+  return p;
+}
+
+sim::ExecutionResult run(const SeqBroadcastProtocol& proto, const BitVec& inputs,
+                         sim::Adversary& adv, std::vector<sim::PartyId> corrupted,
+                         std::uint64_t seed = 1) {
+  sim::ExecutionConfig config;
+  config.seed = seed;
+  config.corrupted = std::move(corrupted);
+  return sim::run_execution(proto, params_for(inputs.size()), inputs, adv, config);
+}
+
+TEST(SeqBroadcast, HonestExecutionIsCorrectAndConsistent) {
+  SeqBroadcastProtocol proto;
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const BitVec inputs(4, bits);
+    adversary::SilentAdversary adv;
+    const auto result = run(proto, inputs, adv, {});
+    const auto announced = broadcast::extract_announced(result, {});
+    EXPECT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w, inputs) << inputs.to_string();
+  }
+}
+
+TEST(SeqBroadcast, RoundCountIsLinear) {
+  SeqBroadcastProtocol proto;
+  EXPECT_EQ(proto.rounds(4), 4u);
+  EXPECT_EQ(proto.rounds(16), 16u);
+}
+
+TEST(SeqBroadcast, SilentCorruptedPartyAnnouncesDefaultZero) {
+  SeqBroadcastProtocol proto;
+  adversary::SilentAdversary adv;
+  const auto result = run(proto, BitVec::from_string("1111"), adv, {2});
+  const auto announced = broadcast::extract_announced(result, {2});
+  EXPECT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "1101");
+}
+
+TEST(SeqBroadcast, PassiveAdversaryIndistinguishableFromHonest) {
+  SeqBroadcastProtocol proto;
+  const BitVec inputs = BitVec::from_string("1011");
+  adversary::PassiveAdversary adv(proto, params_for(4));
+  const auto result = run(proto, inputs, adv, {1, 3});
+  const auto announced = broadcast::extract_announced(result, {1, 3});
+  EXPECT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w, inputs);
+}
+
+TEST(SeqBroadcast, CopyAttackCopiesVictimBit) {
+  // The Section 3.2 attack: corrupted last party always announces the
+  // victim's bit, for both victim inputs.
+  SeqBroadcastProtocol proto;
+  for (const bool victim_bit : {false, true}) {
+    adversary::CopyLastAdversary adv(0);
+    BitVec inputs = BitVec::from_string("0110");
+    inputs.set(0, victim_bit);
+    const auto result = run(proto, inputs, adv, {3});
+    const auto announced = broadcast::extract_announced(result, {3});
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w.get(3), victim_bit);
+    EXPECT_EQ(announced.w.get(0), victim_bit);
+    // The other honest parties are untouched.
+    EXPECT_TRUE(announced.w.get(1));
+    EXPECT_TRUE(announced.w.get(2));
+  }
+}
+
+TEST(SeqBroadcast, CopyAdversaryValidatesTopology) {
+  SeqBroadcastProtocol proto;
+  // Victim after copier: rejected at setup.
+  adversary::CopyLastAdversary late_victim(3);
+  EXPECT_THROW(run(proto, BitVec(4), late_victim, {1}), UsageError);
+  // Victim corrupted: rejected.
+  adversary::CopyLastAdversary corrupted_victim(1);
+  EXPECT_THROW(run(proto, BitVec(4), corrupted_victim, {1, 3}), UsageError);
+}
+
+TEST(SeqBroadcast, OffScheduleAnnouncementIgnored) {
+  // An adversary announcing in the wrong round must be treated as silent.
+  class OffSchedule final : public sim::Adversary {
+   public:
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg&) override {
+      corrupted_ = info.corrupted;
+    }
+    void on_round(sim::Round round, const sim::AdversaryView&,
+                  sim::AdversarySender& sender) override {
+      // Party 2 announces in round 0 (its slot is round 2).
+      if (round == 0) sender.broadcast(corrupted_[0], kSeqAnnounceTag, {1});
+    }
+    std::vector<sim::PartyId> corrupted_;
+  };
+  SeqBroadcastProtocol proto;
+  OffSchedule adv;
+  const auto result = run(proto, BitVec::from_string("111"), adv, {2});
+  const auto announced = broadcast::extract_announced(result, {2});
+  EXPECT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "110");
+}
+
+TEST(SeqBroadcast, MalformedPayloadIgnored) {
+  class Malformed final : public sim::Adversary {
+   public:
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg&) override {
+      corrupted_ = info.corrupted;
+    }
+    void on_round(sim::Round round, const sim::AdversaryView&,
+                  sim::AdversarySender& sender) override {
+      if (round == corrupted_[0])
+        sender.broadcast(corrupted_[0], kSeqAnnounceTag, {1, 2, 3});  // wrong size
+    }
+    std::vector<sim::PartyId> corrupted_;
+  };
+  SeqBroadcastProtocol proto;
+  Malformed adv;
+  const auto result = run(proto, BitVec::from_string("111"), adv, {1});
+  const auto announced = broadcast::extract_announced(result, {1});
+  EXPECT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "101");
+}
+
+}  // namespace
+}  // namespace simulcast::protocols

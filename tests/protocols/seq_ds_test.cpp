@@ -1,0 +1,131 @@
+#include "protocols/seq_ds.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::protocols {
+namespace {
+
+sim::ProtocolParams params_for(std::size_t n) {
+  sim::ProtocolParams p;
+  p.n = n;
+  return p;
+}
+
+broadcast::Announced run(const SeqDolevStrongProtocol& proto, const BitVec& inputs,
+                         sim::Adversary& adv, std::vector<sim::PartyId> corrupted,
+                         std::uint64_t seed = 1) {
+  sim::ExecutionConfig config;
+  config.seed = seed;
+  config.corrupted = std::move(corrupted);
+  const auto result =
+      sim::run_execution(proto, params_for(inputs.size()), inputs, adv, config);
+  return broadcast::extract_announced(result, config.corrupted);
+}
+
+TEST(SeqDolevStrong, HonestExecutionAllInputs) {
+  const SeqDolevStrongProtocol proto(1);
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const BitVec inputs(4, bits);
+    adversary::SilentAdversary adv;
+    const auto announced = run(proto, inputs, adv, {}, bits + 1);
+    ASSERT_TRUE(announced.consistent) << inputs.to_string();
+    EXPECT_EQ(announced.w, inputs) << inputs.to_string();
+  }
+}
+
+TEST(SeqDolevStrong, RoundsAreBlocksOfTPlusTwo) {
+  EXPECT_EQ(SeqDolevStrongProtocol(1).rounds(4), 12u);
+  EXPECT_EQ(SeqDolevStrongProtocol(2).rounds(4), 16u);
+  EXPECT_EQ(SeqDolevStrongProtocol(2).rounds(8), 32u);
+}
+
+TEST(SeqDolevStrong, SilentCorruptedSenderDefaultsToZero) {
+  const SeqDolevStrongProtocol proto(1);
+  adversary::SilentAdversary adv;
+  const auto announced = run(proto, BitVec::from_string("1111"), adv, {2}, 5);
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "1101");
+}
+
+TEST(SeqDolevStrong, NoBroadcastChannelUsed) {
+  // The whole point: every message is point-to-point except the PKI roots,
+  // which DS broadcasts; verify the heavy traffic is p2p.
+  const SeqDolevStrongProtocol proto(1);
+  adversary::SilentAdversary adv;
+  sim::ExecutionConfig config;
+  config.seed = 9;
+  const auto result =
+      sim::run_execution(proto, params_for(4), BitVec::from_string("1010"), adv, config);
+  EXPECT_GT(result.traffic.point_to_point, result.traffic.broadcasts);
+  EXPECT_GT(result.traffic.payload_bytes, 100000u);  // Lamport chains are heavy
+}
+
+TEST(SeqDolevStrong, DeterministicPerSeed) {
+  const SeqDolevStrongProtocol proto(1);
+  adversary::SilentAdversary a1, a2;
+  const auto r1 = run(proto, BitVec::from_string("0110"), a1, {}, 33);
+  const auto r2 = run(proto, BitVec::from_string("0110"), a2, {}, 33);
+  EXPECT_EQ(r1.w, r2.w);
+}
+
+TEST(SeqDolevStrong, StillNotSimultaneous) {
+  // Being built on DS does not add independence: a corrupted last sender
+  // can run its own DS instance with the victim's already-agreed bit.
+  class DsCopier final : public sim::Adversary {
+   public:
+    DsCopier(std::size_t t, std::size_t n) : t_(t), n_(n) {}
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override {
+      corrupted_ = info.corrupted;
+      signer_.emplace(drbg.generate(32), 3);
+    }
+    void on_round(sim::Round round, const sim::AdversaryView& view,
+                  sim::AdversarySender& sender) override {
+      const std::size_t block_len = t_ + 2;
+      const std::size_t block = round / block_len;
+      const std::size_t local = round % block_len;
+      // Watch block 0 (victim = sender 0) relays to learn the bit.
+      for (const sim::Message& m : view.delivered) {
+        if (m.tag == "ds-relay" && !victim_bit_.has_value()) {
+          const auto dc = broadcast::decode_chain(m.payload);
+          if (dc.has_value() && !dc->chain.empty() && dc->chain.front().signer == 0)
+            victim_bit_ = dc->bit;
+        }
+      }
+      // In our own block, run a one-shot honest DS send with the copied bit.
+      const sim::PartyId me = corrupted_.front();
+      if (block == me) {
+        if (local == 0)
+          sender.broadcast(me, "ds-root", crypto::digest_bytes(signer_->public_root()));
+        if (local == 1) {
+          const bool bit = victim_bit_.value_or(false);
+          std::vector<broadcast::ChainLink> chain;
+          chain.push_back({me, signer_->sign(broadcast::dolev_strong_digest(me, bit))});
+          for (sim::PartyId to = 0; to < n_; ++to)
+            if (to != me) sender.send(me, to, "ds-relay", broadcast::encode_chain(bit, chain));
+        }
+      }
+    }
+    std::size_t t_;
+    std::size_t n_;
+    std::vector<sim::PartyId> corrupted_;
+    std::optional<bool> victim_bit_;
+    std::optional<crypto::MerkleSigner> signer_;
+  };
+
+  const SeqDolevStrongProtocol proto(1);
+  for (const bool victim_bit : {false, true}) {
+    DsCopier adv(1, 4);
+    BitVec inputs = BitVec::from_string("0110");
+    inputs.set(0, victim_bit);
+    const auto announced = run(proto, inputs, adv, {3}, 13);
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w.get(3), victim_bit) << "copy through DS should succeed";
+  }
+}
+
+}  // namespace
+}  // namespace simulcast::protocols

@@ -1,0 +1,188 @@
+// Tests of the real-MPC Θ backend (protocols/theta_mpc.h): behavioural
+// equivalence with the ideal functionality is the point, so most tests
+// mirror theta_test.cpp's FlawedPiG suite.
+#include "protocols/theta_mpc.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::protocols {
+namespace {
+
+class ThetaMpcTest : public ::testing::Test {
+ protected:
+  ThetaMpcProtocol proto_;
+
+  sim::ProtocolParams params_for(std::size_t n) {
+    sim::ProtocolParams p;
+    p.n = n;
+    return p;
+  }
+
+  broadcast::Announced run(const BitVec& inputs, sim::Adversary& adv,
+                           std::vector<sim::PartyId> corrupted, std::uint64_t seed) {
+    sim::ExecutionConfig config;
+    config.seed = seed;
+    config.corrupted = corrupted;
+    const auto result =
+        sim::run_execution(proto_, params_for(inputs.size()), inputs, adv, config);
+    return broadcast::extract_announced(result, corrupted);
+  }
+};
+
+TEST_F(ThetaMpcTest, HonestExecutionAnnouncesInputs) {
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const BitVec inputs(4, bits);
+    adversary::SilentAdversary adv;
+    const auto announced = run(inputs, adv, {}, bits + 1);
+    ASSERT_TRUE(announced.consistent) << inputs.to_string();
+    EXPECT_EQ(announced.w, inputs) << inputs.to_string();
+  }
+}
+
+TEST_F(ThetaMpcTest, ConstantRounds) {
+  EXPECT_EQ(proto_.rounds(4), 4u);
+  EXPECT_EQ(proto_.rounds(32), 4u);
+}
+
+TEST_F(ThetaMpcTest, SilentCorruptedPartyDefaultsToZero) {
+  adversary::SilentAdversary adv;
+  const auto announced = run(BitVec::from_string("1111"), adv, {2}, 3);
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "1101");
+}
+
+TEST_F(ThetaMpcTest, PassiveCorruptionMatchesHonest) {
+  adversary::PassiveAdversary adv(proto_, params_for(5));
+  const BitVec inputs = BitVec::from_string("10101");
+  const auto announced = run(inputs, adv, {1, 3}, 4);
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w, inputs);
+}
+
+TEST_F(ThetaMpcTest, ParityAttackForcesZeroXor) {
+  // Claim 6.6 over the real-MPC backend: XOR of announced bits is 0 in
+  // every execution, honest coordinates untouched.
+  sim::ProtocolParams params = params_for(5);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (std::uint64_t bits = 0; bits < 32; bits += 5) {
+      const BitVec inputs(5, bits);
+      adversary::ThetaMpcParityAdversary adv(proto_, params);
+      const auto announced = run(inputs, adv, {1, 3}, seed);
+      ASSERT_TRUE(announced.consistent);
+      EXPECT_FALSE(announced.w.parity()) << "seed=" << seed << " bits=" << bits;
+      EXPECT_EQ(announced.w.get(0), inputs.get(0));
+      EXPECT_EQ(announced.w.get(2), inputs.get(2));
+      EXPECT_EQ(announced.w.get(4), inputs.get(4));
+    }
+  }
+}
+
+TEST_F(ThetaMpcTest, ParityAttackCoinIsUnbiased) {
+  sim::ProtocolParams params = params_for(5);
+  std::size_t ones = 0;
+  const std::size_t reps = 300;
+  for (std::uint64_t seed = 0; seed < reps; ++seed) {
+    adversary::ThetaMpcParityAdversary adv(proto_, params);
+    const auto announced = run(BitVec::from_string("10101"), adv, {1, 3}, seed);
+    ones += announced.w.get(1) ? std::size_t{1} : std::size_t{0};
+  }
+  EXPECT_GT(ones, reps / 2 - std::size_t{55});
+  EXPECT_LT(ones, reps / 2 + std::size_t{55});
+}
+
+TEST_F(ThetaMpcTest, RevealWithholdingCannotChangeOutput) {
+  // Same robustness property as the VSS protocols: a corrupted party that
+  // participates in dealing but withholds every reveal is still announced
+  // with its committed bit.
+  class Withholding final : public sim::Adversary {
+   public:
+    Withholding(const ThetaMpcProtocol& proto, const sim::ProtocolParams& params)
+        : inner_(proto, params) {}
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override {
+      inner_.setup(info, drbg);
+      corrupted_ = info.corrupted;
+    }
+    void on_round(sim::Round round, const sim::AdversaryView& view,
+                  sim::AdversarySender& sender) override {
+      sim::AdversarySender buffer(corrupted_);
+      inner_.on_round(round, view, buffer);
+      for (sim::Message& m : buffer.take_outbox()) {
+        if (m.tag == kTmpcRevealTag) continue;
+        if (m.to == sim::kBroadcast)
+          sender.broadcast(m.from, m.tag, m.payload);
+        else
+          sender.send(m.from, m.to, m.tag, m.payload);
+      }
+    }
+    adversary::PassiveAdversary inner_;
+    std::vector<sim::PartyId> corrupted_;
+  };
+
+  for (const bool corrupted_bit : {false, true}) {
+    Withholding adv(proto_, params_for(4));
+    BitVec inputs = BitVec::from_string("0110");
+    inputs.set(2, corrupted_bit);
+    const auto announced = run(inputs, adv, {2}, 5);
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w.get(2), corrupted_bit);
+    EXPECT_EQ(announced.w, inputs);
+  }
+}
+
+TEST_F(ThetaMpcTest, SingleLitBitIsHarmless) {
+  // |L| = 1 leaves g as the identity; a single corrupted party raising b
+  // changes nothing.
+  class OneLit final : public sim::Adversary {
+   public:
+    OneLit(const ThetaMpcProtocol& proto, const sim::ProtocolParams& params)
+        : proto_(&proto), params_(params) {}
+    void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override {
+      corrupted_ = info.corrupted;
+      machine_ = proto_->make_attack_party(corrupted_[0], info.corrupted_inputs.get(0),
+                                           /*lit=*/true, params_);
+      drbg_.emplace(drbg.generate(32));
+      ctx_.emplace(corrupted_[0], info.n, info.k, *drbg_);
+      machine_->begin(*ctx_);
+    }
+    void on_round(sim::Round round, const sim::AdversaryView& view,
+                  sim::AdversarySender& sender) override {
+      std::vector<sim::Message> inbox;
+      for (const sim::Message& m : view.delivered)
+        if (m.to == corrupted_[0] || (m.to == sim::kBroadcast && m.from != corrupted_[0]))
+          inbox.push_back(m);
+      machine_->on_round(round, inbox, *ctx_);
+      for (sim::Message& m : ctx_->take_outbox()) {
+        if (m.to == sim::kBroadcast)
+          sender.broadcast(corrupted_[0], m.tag, m.payload);
+        else
+          sender.send(corrupted_[0], m.to, m.tag, m.payload);
+      }
+    }
+    const ThetaMpcProtocol* proto_;
+    sim::ProtocolParams params_;
+    std::vector<sim::PartyId> corrupted_;
+    std::unique_ptr<sim::Party> machine_;
+    std::optional<crypto::HmacDrbg> drbg_;
+    std::optional<sim::PartyContext> ctx_;
+  };
+
+  OneLit adv(proto_, params_for(4));
+  const BitVec inputs = BitVec::from_string("1011");
+  const auto announced = run(inputs, adv, {2}, 6);
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w, inputs);
+}
+
+TEST_F(ThetaMpcTest, DeterministicPerSeed) {
+  adversary::SilentAdversary a1, a2;
+  const auto r1 = run(BitVec::from_string("1010"), a1, {}, 77);
+  const auto r2 = run(BitVec::from_string("1010"), a2, {}, 77);
+  EXPECT_EQ(r1.w, r2.w);
+}
+
+}  // namespace
+}  // namespace simulcast::protocols

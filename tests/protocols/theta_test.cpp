@@ -1,0 +1,157 @@
+#include "protocols/theta.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adversaries.h"
+#include "broadcast/parallel_broadcast.h"
+#include "sim/network.h"
+
+namespace simulcast::protocols {
+namespace {
+
+TEST(ThetaG, NoLitBitsIsIdentity) {
+  const std::vector<ThetaInput> v = {{true, false}, {false, false}, {true, false}};
+  for (const bool r : {false, true})
+    EXPECT_EQ(theta_g(v, r).to_string(), "101") << "r=" << r;
+}
+
+TEST(ThetaG, OneLitBitIsIdentity) {
+  const std::vector<ThetaInput> v = {{true, true}, {false, false}, {true, false}};
+  EXPECT_EQ(theta_g(v, false).to_string(), "101");
+  EXPECT_EQ(theta_g(v, true).to_string(), "101");
+}
+
+TEST(ThetaG, ThreeLitBitsIsIdentity) {
+  const std::vector<ThetaInput> v = {{true, true}, {false, true}, {true, true}, {false, false}};
+  EXPECT_EQ(theta_g(v, true).to_string(), "1010");
+}
+
+TEST(ThetaG, TwoLitBitsLeakXor) {
+  // Parties 1 and 3 lit; y = x0 ^ x2 ^ x4.
+  const std::vector<ThetaInput> v = {
+      {true, false}, {false, true}, {true, false}, {true, true}, {false, false}};
+  for (const bool r : {false, true}) {
+    const BitVec w = theta_g(v, r);
+    const bool y = true ^ true ^ false;  // x0 ^ x2 ^ x4 = 0... computed below
+    (void)y;
+    const bool expected_y = v[0].x != (v[2].x != v[4].x);
+    EXPECT_EQ(w.get(1), r);
+    EXPECT_EQ(w.get(3), r != expected_y);
+    EXPECT_EQ(w.get(0), v[0].x);
+    EXPECT_EQ(w.get(2), v[2].x);
+    EXPECT_EQ(w.get(4), v[4].x);
+  }
+}
+
+TEST(ThetaG, TwoLitBitsForceZeroTotalParity) {
+  // Claim 6.6: XOR of all coordinates of w is always 0.
+  for (std::uint64_t xs = 0; xs < 32; ++xs) {
+    for (const bool r : {false, true}) {
+      std::vector<ThetaInput> v(5);
+      for (std::size_t i = 0; i < 5; ++i) v[i] = {((xs >> i) & 1u) != 0, i == 1 || i == 3};
+      EXPECT_FALSE(theta_g(v, r).parity()) << "xs=" << xs << " r=" << r;
+    }
+  }
+}
+
+TEST(ThetaG, LitCoordinateIsCoinNotInput) {
+  const std::vector<ThetaInput> v = {{true, true}, {true, true}, {false, false}};
+  EXPECT_EQ(theta_g(v, false).get(0), false);
+  EXPECT_EQ(theta_g(v, true).get(0), true);
+}
+
+TEST(ThetaWire, InputRoundTrip) {
+  for (const bool x : {false, true}) {
+    for (const bool b : {false, true}) {
+      const auto decoded = decode_theta_input(encode_theta_input({x, b}));
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_EQ(decoded->x, x);
+      EXPECT_EQ(decoded->b, b);
+    }
+  }
+}
+
+TEST(ThetaWire, MalformedInputRejected) {
+  EXPECT_FALSE(decode_theta_input({}).has_value());
+  EXPECT_FALSE(decode_theta_input({1}).has_value());
+  EXPECT_FALSE(decode_theta_input({2, 0}).has_value());
+  EXPECT_FALSE(decode_theta_input({0, 2}).has_value());
+  EXPECT_FALSE(decode_theta_input({0, 0, 0}).has_value());
+}
+
+class FlawedPiGTest : public ::testing::Test {
+ protected:
+  FlawedPiGProtocol proto_;
+
+  sim::ProtocolParams params_for(std::size_t n) {
+    sim::ProtocolParams p;
+    p.n = n;
+    return p;
+  }
+
+  broadcast::Announced run(const BitVec& inputs, sim::Adversary& adv,
+                           std::vector<sim::PartyId> corrupted, std::uint64_t seed) {
+    sim::ExecutionConfig config;
+    config.seed = seed;
+    config.corrupted = corrupted;
+    const auto result =
+        sim::run_execution(proto_, params_for(inputs.size()), inputs, adv, config);
+    return broadcast::extract_announced(result, corrupted);
+  }
+};
+
+TEST_F(FlawedPiGTest, HonestExecutionAnnouncesInputs) {
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    const BitVec inputs(4, bits);
+    adversary::SilentAdversary adv;
+    const auto announced = run(inputs, adv, {}, bits + 1);
+    ASSERT_TRUE(announced.consistent);
+    EXPECT_EQ(announced.w, inputs);
+  }
+}
+
+TEST_F(FlawedPiGTest, SilentCorruptedPartyDefaultsToZero) {
+  adversary::SilentAdversary adv;
+  const auto announced = run(BitVec::from_string("1111"), adv, {2}, 3);
+  ASSERT_TRUE(announced.consistent);
+  EXPECT_EQ(announced.w.to_string(), "1101");
+}
+
+TEST_F(FlawedPiGTest, ParityAttackForcesZeroXor) {
+  // Claim 6.6 end to end: under A*, XOR of announced bits is always 0,
+  // honest coordinates are untouched.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    for (std::uint64_t bits = 0; bits < 32; ++bits) {
+      const BitVec inputs(5, bits);
+      adversary::ParityAdversary adv;
+      const auto announced = run(inputs, adv, {1, 3}, seed);
+      ASSERT_TRUE(announced.consistent);
+      EXPECT_FALSE(announced.w.parity()) << "seed=" << seed << " bits=" << bits;
+      EXPECT_EQ(announced.w.get(0), inputs.get(0));
+      EXPECT_EQ(announced.w.get(2), inputs.get(2));
+      EXPECT_EQ(announced.w.get(4), inputs.get(4));
+    }
+  }
+}
+
+TEST_F(FlawedPiGTest, ParityAttackCoordinatesLookRandom) {
+  // Each corrupted coordinate alone is an unbiased coin over the
+  // functionality's randomness (the G-independence side of Lemma 6.4).
+  std::size_t ones = 0;
+  const std::size_t reps = 400;
+  for (std::uint64_t seed = 0; seed < reps; ++seed) {
+    adversary::ParityAdversary adv;
+    const auto announced = run(BitVec::from_string("10101"), adv, {1, 3}, seed);
+    ones += announced.w.get(1) ? std::size_t{1} : std::size_t{0};
+  }
+  EXPECT_GT(ones, reps / 2 - std::size_t{60});
+  EXPECT_LT(ones, reps / 2 + std::size_t{60});
+}
+
+TEST_F(FlawedPiGTest, ParityAdversaryNeedsTwoCorruptions) {
+  adversary::ParityAdversary adv;
+  EXPECT_THROW(run(BitVec(4), adv, {1}, 1), UsageError);
+}
+
+}  // namespace
+}  // namespace simulcast::protocols

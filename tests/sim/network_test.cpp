@@ -1,0 +1,269 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+
+namespace simulcast::sim {
+namespace {
+
+// A minimal 2-round protocol for scheduler mechanics: round 0 every party
+// broadcasts its bit; output bit j = what was heard from j.
+class EchoBitsParty final : public Party {
+ public:
+  explicit EchoBitsParty(bool input) : input_(input) {}
+
+  void begin(PartyContext& ctx) override {
+    n_ = ctx.n();
+    heard_ = BitVec(n_);
+  }
+
+  void on_round(Round round, const std::vector<Message>& inbox, PartyContext& ctx) override {
+    record(inbox);
+    if (round == 0) {
+      heard_.set(ctx.id(), input_);
+      ctx.broadcast("bit", Bytes{input_ ? std::uint8_t{1} : std::uint8_t{0}});
+    }
+  }
+
+  void finish(const std::vector<Message>& inbox, PartyContext&) override {
+    record(inbox);
+    done_ = true;
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    if (!done_) throw ProtocolError("no output");
+    return heard_;
+  }
+
+ private:
+  void record(const std::vector<Message>& inbox) {
+    for (const Message& m : inbox)
+      if (m.tag == "bit" && m.payload.size() == 1 && m.from < n_)
+        heard_.set(m.from, m.payload[0] != 0);
+  }
+
+  bool input_;
+  std::size_t n_ = 0;
+  BitVec heard_;
+  bool done_ = false;
+};
+
+class EchoBitsProtocol final : public ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "echo-bits"; }
+  [[nodiscard]] std::size_t rounds(std::size_t) const override { return 1; }
+  [[nodiscard]] std::unique_ptr<Party> make_party(PartyId, bool input,
+                                                  const ProtocolParams&) const override {
+    return std::make_unique<EchoBitsParty>(input);
+  }
+};
+
+// Adversary that records what it saw, for observability assertions.
+class RecordingAdversary final : public Adversary {
+ public:
+  void setup(const CorruptionInfo& info, crypto::HmacDrbg&) override { info_ = info; }
+  void on_round(Round, const AdversaryView& view, AdversarySender&) override {
+    delivered_total_ += view.delivered.size();
+    rushed_total_ += view.rushed.size();
+  }
+  [[nodiscard]] Bytes output() const override {
+    ByteWriter w;
+    w.u64(delivered_total_);
+    w.u64(rushed_total_);
+    return w.take();
+  }
+
+  CorruptionInfo info_;
+  std::size_t delivered_total_ = 0;
+  std::size_t rushed_total_ = 0;
+};
+
+// Adversary that copies, within the same round (rushing), an honest
+// broadcast bit into its own broadcast.
+class RushingCopier final : public Adversary {
+ public:
+  explicit RushingCopier(PartyId victim) : victim_(victim) {}
+  void setup(const CorruptionInfo& info, crypto::HmacDrbg&) override {
+    corrupted_ = info.corrupted;
+  }
+  void on_round(Round round, const AdversaryView& view, AdversarySender& sender) override {
+    if (round != 0) return;
+    for (const Message& m : view.rushed) {
+      if (m.from == victim_ && m.tag == "bit") {
+        for (PartyId id : corrupted_) sender.broadcast(id, "bit", m.payload);
+        return;
+      }
+    }
+  }
+
+ private:
+  PartyId victim_;
+  std::vector<PartyId> corrupted_;
+};
+
+ProtocolParams params_for(std::size_t n) {
+  ProtocolParams p;
+  p.n = n;
+  return p;
+}
+
+TEST(Network, HonestExecutionDeliversAllBits) {
+  EchoBitsProtocol proto;
+  const BitVec inputs = BitVec::from_string("1010");
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 1;
+  const ExecutionResult result = run_execution(proto, params_for(4), inputs, adv, config);
+  ASSERT_EQ(result.outputs.size(), 4u);
+  for (PartyId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(result.outputs[id].has_value());
+    EXPECT_EQ(*result.outputs[id], inputs) << "party " << id;
+  }
+  EXPECT_TRUE(result.honest_outputs_consistent({}));
+  EXPECT_EQ(result.any_honest_output({}), inputs);
+}
+
+TEST(Network, DeterministicForSeed) {
+  EchoBitsProtocol proto;
+  const BitVec inputs = BitVec::from_string("110");
+  RecordingAdversary a1, a2;
+  ExecutionConfig config;
+  config.seed = 7;
+  const auto r1 = run_execution(proto, params_for(3), inputs, a1, config);
+  const auto r2 = run_execution(proto, params_for(3), inputs, a2, config);
+  EXPECT_EQ(r1.outputs[0], r2.outputs[0]);
+  EXPECT_EQ(r1.adversary_output, r2.adversary_output);
+}
+
+TEST(Network, CorruptedPartiesHaveNoMachine) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.corrupted = {1};
+  const auto result = run_execution(proto, params_for(3), BitVec::from_string("111"), adv, config);
+  EXPECT_FALSE(result.outputs[1].has_value());
+  EXPECT_TRUE(result.outputs[0].has_value());
+  // Corrupted party 1 sent nothing, so its coordinate reads 0.
+  EXPECT_EQ(result.outputs[0]->to_string(), "101");
+}
+
+TEST(Network, AdversaryReceivesCorruptedInputsAndAux) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.corrupted = {0, 2};
+  config.auxiliary_input = {0xaa, 0xbb};
+  (void)run_execution(proto, params_for(3), BitVec::from_string("101"), adv, config);
+  EXPECT_EQ(adv.info_.corrupted, (std::vector<PartyId>{0, 2}));
+  EXPECT_EQ(adv.info_.corrupted_inputs.to_string(), "11");
+  EXPECT_EQ(adv.info_.auxiliary_input, (Bytes{0xaa, 0xbb}));
+  EXPECT_EQ(adv.info_.n, 3u);
+}
+
+TEST(Network, RushingAdversarySeesSameRoundBroadcasts) {
+  // The copier reads the victim's round-0 broadcast and repeats it in the
+  // same round, so honest parties see the copied bit with zero delay.
+  EchoBitsProtocol proto;
+  for (const bool victim_bit : {false, true}) {
+    RushingCopier adv(0);
+    ExecutionConfig config;
+    config.seed = 3;
+    config.corrupted = {2};
+    BitVec inputs = BitVec::from_string("010");
+    inputs.set(0, victim_bit);
+    const auto result = run_execution(proto, params_for(3), inputs, adv, config);
+    EXPECT_EQ(result.outputs[0]->get(2), victim_bit);
+    EXPECT_EQ(result.outputs[1]->get(2), victim_bit);
+  }
+}
+
+TEST(Network, PrivateChannelsHideHonestP2pTraffic) {
+  // Protocol variant where party 0 sends a p2p message to party 1.
+  class P2pParty final : public Party {
+   public:
+    void on_round(Round round, const std::vector<Message>&, PartyContext& ctx) override {
+      if (round == 0 && ctx.id() == 0) ctx.send(1, "secret", {0x42});
+    }
+    void finish(const std::vector<Message>&, PartyContext&) override {}
+    [[nodiscard]] BitVec output() const override { return BitVec(3); }
+  };
+  class P2pProtocol final : public ParallelBroadcastProtocol {
+   public:
+    [[nodiscard]] std::string name() const override { return "p2p"; }
+    [[nodiscard]] std::size_t rounds(std::size_t) const override { return 1; }
+    [[nodiscard]] std::unique_ptr<Party> make_party(PartyId, bool,
+                                                    const ProtocolParams&) const override {
+      return std::make_unique<P2pParty>();
+    }
+  };
+
+  P2pProtocol proto;
+  for (const bool private_channels : {true, false}) {
+    RecordingAdversary adv;
+    ExecutionConfig config;
+    config.corrupted = {2};
+    config.private_channels = private_channels;
+    (void)run_execution(proto, params_for(3), BitVec(3), adv, config);
+    const Bytes adv_out = adv.output();
+    ByteReader r(adv_out);
+    (void)r.u64();  // delivered
+    const std::uint64_t rushed = r.u64();
+    if (private_channels)
+      EXPECT_EQ(rushed, 0u) << "private p2p message leaked to the adversary";
+    else
+      EXPECT_EQ(rushed, 1u) << "public channels should expose p2p traffic";
+  }
+}
+
+TEST(Network, TrafficAccounting) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  const auto result = run_execution(proto, params_for(4), BitVec(4), adv, config);
+  EXPECT_EQ(result.traffic.messages, 4u);
+  EXPECT_EQ(result.traffic.broadcasts, 4u);
+  EXPECT_EQ(result.traffic.point_to_point, 0u);
+  EXPECT_EQ(result.traffic.payload_bytes, 4u);
+  EXPECT_EQ(result.traffic.delivered_bytes, 4u * 3u);
+}
+
+TEST(Network, TraceRecordsMessages) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.record_trace = true;
+  const auto result = run_execution(proto, params_for(3), BitVec(3), adv, config);
+  ASSERT_EQ(result.trace.size(), 2u);  // 1 round + final snapshot
+  EXPECT_EQ(result.trace[0].size(), 3u);
+}
+
+TEST(Network, ConfigValidation) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.corrupted = {5};
+  EXPECT_THROW((void)run_execution(proto, params_for(3), BitVec(3), adv, config), UsageError);
+  config.corrupted = {1, 1};
+  EXPECT_THROW((void)run_execution(proto, params_for(3), BitVec(3), adv, config), UsageError);
+  config.corrupted = {};
+  EXPECT_THROW((void)run_execution(proto, params_for(3), BitVec(4), adv, config), UsageError);
+  EXPECT_THROW((void)run_execution(proto, params_for(0), BitVec(0), adv, config), UsageError);
+}
+
+TEST(Network, AdversarySenderRejectsHonestFrom) {
+  AdversarySender sender({1});
+  EXPECT_THROW(sender.send(0, 2, "x", {}), UsageError);
+  EXPECT_NO_THROW(sender.send(1, 2, "x", {}));
+  EXPECT_THROW(sender.broadcast(2, "x", {}), UsageError);
+}
+
+TEST(Network, NoHonestOutputThrows) {
+  ExecutionResult result;
+  result.outputs.resize(2);
+  EXPECT_THROW((void)result.any_honest_output({}), ProtocolError);
+  EXPECT_FALSE(result.honest_outputs_consistent({}));
+}
+
+}  // namespace
+}  // namespace simulcast::sim

@@ -1,0 +1,102 @@
+#include "testers/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "base/error.h"
+#include <set>
+#include "core/registry.h"
+
+namespace simulcast::testers {
+namespace {
+
+RunSpec gennaro_spec(const sim::ParallelBroadcastProtocol& proto, std::size_t n,
+                     std::vector<sim::PartyId> corrupted,
+                     adversary::AdversaryFactory factory) {
+  RunSpec spec;
+  spec.protocol = &proto;
+  spec.params.n = n;
+  spec.corrupted = std::move(corrupted);
+  spec.adversary = std::move(factory);
+  return spec;
+}
+
+TEST(MonteCarlo, CollectsRequestedSampleCount) {
+  const auto proto = core::make_protocol("gennaro");
+  const auto spec = gennaro_spec(*proto, 4, {}, adversary::silent_factory());
+  const auto ens = dist::make_uniform(4);
+  const auto samples = collect_samples(spec, *ens, 25, 1);
+  EXPECT_EQ(samples.size(), 25u);
+}
+
+TEST(MonteCarlo, HonestRunsAreConsistentAndCorrect) {
+  const auto proto = core::make_protocol("gennaro");
+  const auto spec = gennaro_spec(*proto, 4, {}, adversary::silent_factory());
+  const auto ens = dist::make_uniform(4);
+  const auto samples = collect_samples(spec, *ens, 50, 2);
+  EXPECT_DOUBLE_EQ(consistency_rate(samples), 1.0);
+  for (const Sample& s : samples) EXPECT_EQ(s.announced, s.inputs);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  const auto proto = core::make_protocol("gennaro");
+  const auto spec = gennaro_spec(*proto, 4, {}, adversary::silent_factory());
+  const auto ens = dist::make_uniform(4);
+  const auto s1 = collect_samples(spec, *ens, 10, 42);
+  const auto s2 = collect_samples(spec, *ens, 10, 42);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(s1[i].inputs, s2[i].inputs);
+    EXPECT_EQ(s1[i].announced, s2[i].announced);
+  }
+}
+
+TEST(MonteCarlo, InputsVaryAcrossRepetitions) {
+  const auto proto = core::make_protocol("gennaro");
+  const auto spec = gennaro_spec(*proto, 4, {}, adversary::silent_factory());
+  const auto ens = dist::make_uniform(4);
+  const auto samples = collect_samples(spec, *ens, 40, 3);
+  std::set<std::uint64_t> distinct;
+  for (const Sample& s : samples) distinct.insert(s.inputs.packed());
+  EXPECT_GT(distinct.size(), 5u);
+}
+
+TEST(MonteCarlo, FixedInputVariantPinsInputs) {
+  const auto proto = core::make_protocol("gennaro");
+  const auto spec = gennaro_spec(*proto, 4, {}, adversary::silent_factory());
+  const BitVec input = BitVec::from_string("1010");
+  const auto samples = collect_samples_fixed(spec, input, 20, 4);
+  for (const Sample& s : samples) {
+    EXPECT_EQ(s.inputs, input);
+    EXPECT_EQ(s.announced, input);
+  }
+}
+
+TEST(MonteCarlo, FixedInputProtocolRandomnessVaries) {
+  // Under the parity adversary, W_1 is a fresh coin each repetition even
+  // for a fixed input - the per-repetition seed fork must reach the
+  // functionality's randomness.
+  const auto proto = core::make_protocol("flawed-pi-g");
+  const auto spec = gennaro_spec(*proto, 5, {1, 3}, adversary::parity_factory());
+  const auto samples = collect_samples_fixed(spec, BitVec::from_string("10101"), 100, 5);
+  std::size_t ones = 0;
+  for (const Sample& s : samples) ones += s.announced.get(1) ? std::size_t{1} : std::size_t{0};
+  EXPECT_GT(ones, 25u);
+  EXPECT_LT(ones, 75u);
+}
+
+TEST(MonteCarlo, Validation) {
+  const auto proto = core::make_protocol("gennaro");
+  RunSpec null_spec;
+  const auto ens = dist::make_uniform(4);
+  EXPECT_THROW((void)collect_samples(null_spec, *ens, 1, 1), UsageError);
+  auto spec = gennaro_spec(*proto, 5, {}, adversary::silent_factory());
+  EXPECT_THROW((void)collect_samples(spec, *ens, 1, 1), UsageError);  // width 4 != n 5
+  EXPECT_THROW((void)collect_samples_fixed(spec, BitVec(4), 1, 1), UsageError);
+}
+
+TEST(MonteCarlo, HonestIndices) {
+  EXPECT_EQ(honest_indices(5, {1, 3}), (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(honest_indices(3, {}), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace simulcast::testers
