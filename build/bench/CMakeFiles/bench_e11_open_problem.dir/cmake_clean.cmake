@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_open_problem.dir/bench_e11_open_problem.cpp.o"
+  "CMakeFiles/bench_e11_open_problem.dir/bench_e11_open_problem.cpp.o.d"
+  "bench_e11_open_problem"
+  "bench_e11_open_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_open_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_channel_privacy.dir/bench_e12_channel_privacy.cpp.o"
+  "CMakeFiles/bench_e12_channel_privacy.dir/bench_e12_channel_privacy.cpp.o.d"
+  "bench_e12_channel_privacy"
+  "bench_e12_channel_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_channel_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

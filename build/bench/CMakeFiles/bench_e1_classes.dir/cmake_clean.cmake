@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_classes.dir/bench_e1_classes.cpp.o"
+  "CMakeFiles/bench_e1_classes.dir/bench_e1_classes.cpp.o.d"
+  "bench_e1_classes"
+  "bench_e1_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e3_g_impossibility.cpp" "bench/CMakeFiles/bench_e3_g_impossibility.dir/bench_e3_g_impossibility.cpp.o" "gcc" "bench/CMakeFiles/bench_e3_g_impossibility.dir/bench_e3_g_impossibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/simulcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testers/CMakeFiles/simulcast_testers.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/simulcast_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/simulcast_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/simulcast_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/simulcast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/simulcast_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/simulcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/simulcast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_g_impossibility.dir/bench_e3_g_impossibility.cpp.o"
+  "CMakeFiles/bench_e3_g_impossibility.dir/bench_e3_g_impossibility.cpp.o.d"
+  "bench_e3_g_impossibility"
+  "bench_e3_g_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_g_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

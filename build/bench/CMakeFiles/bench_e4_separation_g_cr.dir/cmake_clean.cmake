@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_separation_g_cr.dir/bench_e4_separation_g_cr.cpp.o"
+  "CMakeFiles/bench_e4_separation_g_cr.dir/bench_e4_separation_g_cr.cpp.o.d"
+  "bench_e4_separation_g_cr"
+  "bench_e4_separation_g_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_separation_g_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_separation_g_cr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_singleton.dir/bench_e5_singleton.cpp.o"
+  "CMakeFiles/bench_e5_singleton.dir/bench_e5_singleton.cpp.o.d"
+  "bench_e5_singleton"
+  "bench_e5_singleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_singleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_sb_implies_cr.dir/bench_e6_sb_implies_cr.cpp.o"
+  "CMakeFiles/bench_e6_sb_implies_cr.dir/bench_e6_sb_implies_cr.cpp.o.d"
+  "bench_e6_sb_implies_cr"
+  "bench_e6_sb_implies_cr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_sb_implies_cr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_cr_implies_g.dir/bench_e7_cr_implies_g.cpp.o"
+  "CMakeFiles/bench_e7_cr_implies_g.dir/bench_e7_cr_implies_g.cpp.o.d"
+  "bench_e7_cr_implies_g"
+  "bench_e7_cr_implies_g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cr_implies_g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

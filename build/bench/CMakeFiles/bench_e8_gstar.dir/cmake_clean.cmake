@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_gstar.dir/bench_e8_gstar.cpp.o"
+  "CMakeFiles/bench_e8_gstar.dir/bench_e8_gstar.cpp.o.d"
+  "bench_e8_gstar"
+  "bench_e8_gstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_gstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

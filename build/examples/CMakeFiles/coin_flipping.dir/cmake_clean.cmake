@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coin_flipping.dir/coin_flipping.cpp.o"
+  "CMakeFiles/coin_flipping.dir/coin_flipping.cpp.o.d"
+  "coin_flipping"
+  "coin_flipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coin_flipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

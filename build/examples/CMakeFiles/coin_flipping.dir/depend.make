@@ -1,0 +1,2 @@
+# Empty dependencies file for coin_flipping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election.dir/election.cpp.o"
+  "CMakeFiles/election.dir/election.cpp.o.d"
+  "election"
+  "election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

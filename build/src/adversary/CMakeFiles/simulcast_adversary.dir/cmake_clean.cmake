@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_adversary.dir/adversaries.cpp.o"
+  "CMakeFiles/simulcast_adversary.dir/adversaries.cpp.o.d"
+  "libsimulcast_adversary.a"
+  "libsimulcast_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

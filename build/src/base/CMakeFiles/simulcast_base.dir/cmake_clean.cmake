@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_base.dir/bitvec.cpp.o"
+  "CMakeFiles/simulcast_base.dir/bitvec.cpp.o.d"
+  "CMakeFiles/simulcast_base.dir/bytes.cpp.o"
+  "CMakeFiles/simulcast_base.dir/bytes.cpp.o.d"
+  "libsimulcast_base.a"
+  "libsimulcast_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

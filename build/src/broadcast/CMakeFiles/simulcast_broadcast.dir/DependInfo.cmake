@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/dolev_strong.cpp" "src/broadcast/CMakeFiles/simulcast_broadcast.dir/dolev_strong.cpp.o" "gcc" "src/broadcast/CMakeFiles/simulcast_broadcast.dir/dolev_strong.cpp.o.d"
+  "/root/repo/src/broadcast/echo_broadcast.cpp" "src/broadcast/CMakeFiles/simulcast_broadcast.dir/echo_broadcast.cpp.o" "gcc" "src/broadcast/CMakeFiles/simulcast_broadcast.dir/echo_broadcast.cpp.o.d"
+  "/root/repo/src/broadcast/parallel_broadcast.cpp" "src/broadcast/CMakeFiles/simulcast_broadcast.dir/parallel_broadcast.cpp.o" "gcc" "src/broadcast/CMakeFiles/simulcast_broadcast.dir/parallel_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/simulcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/simulcast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

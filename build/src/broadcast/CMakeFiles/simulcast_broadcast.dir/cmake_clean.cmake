@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_broadcast.dir/dolev_strong.cpp.o"
+  "CMakeFiles/simulcast_broadcast.dir/dolev_strong.cpp.o.d"
+  "CMakeFiles/simulcast_broadcast.dir/echo_broadcast.cpp.o"
+  "CMakeFiles/simulcast_broadcast.dir/echo_broadcast.cpp.o.d"
+  "CMakeFiles/simulcast_broadcast.dir/parallel_broadcast.cpp.o"
+  "CMakeFiles/simulcast_broadcast.dir/parallel_broadcast.cpp.o.d"
+  "libsimulcast_broadcast.a"
+  "libsimulcast_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

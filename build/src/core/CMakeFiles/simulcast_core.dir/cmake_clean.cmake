@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_core.dir/multi.cpp.o"
+  "CMakeFiles/simulcast_core.dir/multi.cpp.o.d"
+  "CMakeFiles/simulcast_core.dir/registry.cpp.o"
+  "CMakeFiles/simulcast_core.dir/registry.cpp.o.d"
+  "CMakeFiles/simulcast_core.dir/report.cpp.o"
+  "CMakeFiles/simulcast_core.dir/report.cpp.o.d"
+  "CMakeFiles/simulcast_core.dir/session.cpp.o"
+  "CMakeFiles/simulcast_core.dir/session.cpp.o.d"
+  "libsimulcast_core.a"
+  "libsimulcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/commitment.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/commitment.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/commitment.cpp.o.d"
+  "/root/repo/src/crypto/field.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/field.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/field.cpp.o.d"
+  "/root/repo/src/crypto/group.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/group.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/group.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/lamport.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/lamport.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/lamport.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/modmath.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/modmath.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/modmath.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sigma.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/sigma.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/sigma.cpp.o.d"
+  "/root/repo/src/crypto/vss.cpp" "src/crypto/CMakeFiles/simulcast_crypto.dir/vss.cpp.o" "gcc" "src/crypto/CMakeFiles/simulcast_crypto.dir/vss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

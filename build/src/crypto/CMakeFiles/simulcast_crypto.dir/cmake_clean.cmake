@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_crypto.dir/commitment.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/commitment.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/field.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/field.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/group.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/group.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/lamport.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/lamport.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/modmath.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/modmath.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/sigma.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/sigma.cpp.o.d"
+  "CMakeFiles/simulcast_crypto.dir/vss.cpp.o"
+  "CMakeFiles/simulcast_crypto.dir/vss.cpp.o.d"
+  "libsimulcast_crypto.a"
+  "libsimulcast_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_dist.dir/classes.cpp.o"
+  "CMakeFiles/simulcast_dist.dir/classes.cpp.o.d"
+  "CMakeFiles/simulcast_dist.dir/ensembles.cpp.o"
+  "CMakeFiles/simulcast_dist.dir/ensembles.cpp.o.d"
+  "libsimulcast_dist.a"
+  "libsimulcast_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

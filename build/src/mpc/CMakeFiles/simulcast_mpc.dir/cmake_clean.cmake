@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_mpc.dir/bgw.cpp.o"
+  "CMakeFiles/simulcast_mpc.dir/bgw.cpp.o.d"
+  "libsimulcast_mpc.a"
+  "libsimulcast_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimulcast_mpc.a"
+)

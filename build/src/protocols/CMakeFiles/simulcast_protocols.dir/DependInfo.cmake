@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/cgma.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/cgma.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/cgma.cpp.o.d"
+  "/root/repo/src/protocols/chor_rabin.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/chor_rabin.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/chor_rabin.cpp.o.d"
+  "/root/repo/src/protocols/gennaro.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/gennaro.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/gennaro.cpp.o.d"
+  "/root/repo/src/protocols/naive_commit_reveal.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/naive_commit_reveal.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/naive_commit_reveal.cpp.o.d"
+  "/root/repo/src/protocols/seq_broadcast.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/seq_broadcast.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/seq_broadcast.cpp.o.d"
+  "/root/repo/src/protocols/seq_ds.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/seq_ds.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/seq_ds.cpp.o.d"
+  "/root/repo/src/protocols/theta.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/theta.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/theta.cpp.o.d"
+  "/root/repo/src/protocols/theta_mpc.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/theta_mpc.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/theta_mpc.cpp.o.d"
+  "/root/repo/src/protocols/vss_core.cpp" "src/protocols/CMakeFiles/simulcast_protocols.dir/vss_core.cpp.o" "gcc" "src/protocols/CMakeFiles/simulcast_protocols.dir/vss_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/simulcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/simulcast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/simulcast_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_protocols.dir/cgma.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/cgma.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/chor_rabin.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/chor_rabin.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/gennaro.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/gennaro.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/naive_commit_reveal.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/naive_commit_reveal.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/seq_broadcast.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/seq_broadcast.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/seq_ds.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/seq_ds.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/theta.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/theta.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/theta_mpc.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/theta_mpc.cpp.o.d"
+  "CMakeFiles/simulcast_protocols.dir/vss_core.cpp.o"
+  "CMakeFiles/simulcast_protocols.dir/vss_core.cpp.o.d"
+  "libsimulcast_protocols.a"
+  "libsimulcast_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

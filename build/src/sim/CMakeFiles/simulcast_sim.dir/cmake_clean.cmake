@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_sim.dir/network.cpp.o"
+  "CMakeFiles/simulcast_sim.dir/network.cpp.o.d"
+  "libsimulcast_sim.a"
+  "libsimulcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/simulcast_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/simulcast_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/empirical.cpp" "src/stats/CMakeFiles/simulcast_stats.dir/empirical.cpp.o" "gcc" "src/stats/CMakeFiles/simulcast_stats.dir/empirical.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/simulcast_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/simulcast_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/simulcast_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/simulcast_stats.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

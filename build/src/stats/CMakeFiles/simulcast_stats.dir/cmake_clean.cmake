@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_stats.dir/confidence.cpp.o"
+  "CMakeFiles/simulcast_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/simulcast_stats.dir/empirical.cpp.o"
+  "CMakeFiles/simulcast_stats.dir/empirical.cpp.o.d"
+  "CMakeFiles/simulcast_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/simulcast_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/simulcast_stats.dir/rng.cpp.o"
+  "CMakeFiles/simulcast_stats.dir/rng.cpp.o.d"
+  "libsimulcast_stats.a"
+  "libsimulcast_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimulcast_stats.a"
+)

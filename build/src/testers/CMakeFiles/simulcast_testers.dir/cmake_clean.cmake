@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulcast_testers.dir/cr_tester.cpp.o"
+  "CMakeFiles/simulcast_testers.dir/cr_tester.cpp.o.d"
+  "CMakeFiles/simulcast_testers.dir/g_tester.cpp.o"
+  "CMakeFiles/simulcast_testers.dir/g_tester.cpp.o.d"
+  "CMakeFiles/simulcast_testers.dir/gstarstar_tester.cpp.o"
+  "CMakeFiles/simulcast_testers.dir/gstarstar_tester.cpp.o.d"
+  "CMakeFiles/simulcast_testers.dir/monte_carlo.cpp.o"
+  "CMakeFiles/simulcast_testers.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/simulcast_testers.dir/sb_tester.cpp.o"
+  "CMakeFiles/simulcast_testers.dir/sb_tester.cpp.o.d"
+  "libsimulcast_testers.a"
+  "libsimulcast_testers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulcast_testers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/bitvec_test.cpp" "tests/CMakeFiles/base_tests.dir/base/bitvec_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/bitvec_test.cpp.o.d"
+  "/root/repo/tests/base/bytes_test.cpp" "tests/CMakeFiles/base_tests.dir/base/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/bytes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/bitvec_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/bitvec_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/bytes_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/bytes_test.cpp.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_tests.dir/broadcast/dolev_strong_test.cpp.o"
+  "CMakeFiles/broadcast_tests.dir/broadcast/dolev_strong_test.cpp.o.d"
+  "CMakeFiles/broadcast_tests.dir/broadcast/echo_broadcast_test.cpp.o"
+  "CMakeFiles/broadcast_tests.dir/broadcast/echo_broadcast_test.cpp.o.d"
+  "broadcast_tests"
+  "broadcast_tests.pdb"
+  "broadcast_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/commitment_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/commitment_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/commitment_test.cpp.o.d"
+  "/root/repo/tests/crypto/decoder_fuzz_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/decoder_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/decoder_fuzz_test.cpp.o.d"
+  "/root/repo/tests/crypto/field_property_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/field_property_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/field_property_test.cpp.o.d"
+  "/root/repo/tests/crypto/field_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/field_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/field_test.cpp.o.d"
+  "/root/repo/tests/crypto/group_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/group_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/group_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/lamport_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/lamport_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/lamport_test.cpp.o.d"
+  "/root/repo/tests/crypto/merkle_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/merkle_test.cpp.o.d"
+  "/root/repo/tests/crypto/modmath_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/modmath_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/modmath_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/shamir_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/shamir_test.cpp.o.d"
+  "/root/repo/tests/crypto/sigma_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/sigma_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/sigma_test.cpp.o.d"
+  "/root/repo/tests/crypto/vss_test.cpp" "tests/CMakeFiles/crypto_tests.dir/crypto/vss_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_tests.dir/crypto/vss_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/simulcast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/simulcast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/classes_test.cpp" "tests/CMakeFiles/dist_tests.dir/dist/classes_test.cpp.o" "gcc" "tests/CMakeFiles/dist_tests.dir/dist/classes_test.cpp.o.d"
+  "/root/repo/tests/dist/ensembles_test.cpp" "tests/CMakeFiles/dist_tests.dir/dist/ensembles_test.cpp.o" "gcc" "tests/CMakeFiles/dist_tests.dir/dist/ensembles_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/simulcast_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/simulcast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/simulcast_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

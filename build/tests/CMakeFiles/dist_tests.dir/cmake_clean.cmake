@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_tests.dir/dist/classes_test.cpp.o"
+  "CMakeFiles/dist_tests.dir/dist/classes_test.cpp.o.d"
+  "CMakeFiles/dist_tests.dir/dist/ensembles_test.cpp.o"
+  "CMakeFiles/dist_tests.dir/dist/ensembles_test.cpp.o.d"
+  "dist_tests"
+  "dist_tests.pdb"
+  "dist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

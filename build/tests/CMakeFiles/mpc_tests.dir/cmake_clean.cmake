@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_tests.dir/mpc/bgw_test.cpp.o"
+  "CMakeFiles/mpc_tests.dir/mpc/bgw_test.cpp.o.d"
+  "mpc_tests"
+  "mpc_tests.pdb"
+  "mpc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

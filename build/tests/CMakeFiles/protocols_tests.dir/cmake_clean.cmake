@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_tests.dir/protocols/naive_commit_reveal_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/naive_commit_reveal_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/property_sweep_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/property_sweep_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/seq_broadcast_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/seq_broadcast_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/seq_ds_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/seq_ds_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/theta_mpc_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/theta_mpc_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/theta_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/theta_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/vss_malleability_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/vss_malleability_test.cpp.o.d"
+  "CMakeFiles/protocols_tests.dir/protocols/vss_protocols_test.cpp.o"
+  "CMakeFiles/protocols_tests.dir/protocols/vss_protocols_test.cpp.o.d"
+  "protocols_tests"
+  "protocols_tests.pdb"
+  "protocols_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/confidence_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/confidence_test.cpp.o.d"
+  "/root/repo/tests/stats/empirical_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/empirical_test.cpp.o.d"
+  "/root/repo/tests/stats/hypothesis_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/hypothesis_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/hypothesis_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/simulcast_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/simulcast_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testers_tests.dir/testers/distributional_test.cpp.o"
+  "CMakeFiles/testers_tests.dir/testers/distributional_test.cpp.o.d"
+  "CMakeFiles/testers_tests.dir/testers/independence_testers_test.cpp.o"
+  "CMakeFiles/testers_tests.dir/testers/independence_testers_test.cpp.o.d"
+  "CMakeFiles/testers_tests.dir/testers/monte_carlo_test.cpp.o"
+  "CMakeFiles/testers_tests.dir/testers/monte_carlo_test.cpp.o.d"
+  "CMakeFiles/testers_tests.dir/testers/mpc_backend_test.cpp.o"
+  "CMakeFiles/testers_tests.dir/testers/mpc_backend_test.cpp.o.d"
+  "testers_tests"
+  "testers_tests.pdb"
+  "testers_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testers_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

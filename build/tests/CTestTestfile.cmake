@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/broadcast_tests[1]_include.cmake")
+include("/root/repo/build/tests/dist_tests[1]_include.cmake")
+include("/root/repo/build/tests/protocols_tests[1]_include.cmake")
+include("/root/repo/build/tests/testers_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/mpc_tests[1]_include.cmake")
+include("/root/repo/build/tests/adversary_tests[1]_include.cmake")
