@@ -19,13 +19,15 @@
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/sb_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
 constexpr std::uint64_t kSeed = 0xE10;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner("E10/figure1",
                      "Figure 1: Sb =(D(CR))=> CR, CR =/= (Singleton)=> Sb; CR =(D(G))=> G, "
                      "G =/= (D(G))=> CR",

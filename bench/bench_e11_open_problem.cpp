@@ -21,13 +21,15 @@
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/sb_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
 constexpr std::uint64_t kSeed = 0xE11;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E11/open-problem",
       "Section 7 (open): is there a constant-round protocol achieving CR or even Sb "

@@ -18,13 +18,15 @@
 #include "core/report.h"
 #include "protocols/cgma.h"
 #include "testers/gstarstar_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
 constexpr std::uint64_t kSeed = 0xE12;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E12/channel-privacy",
       "model validation (Section 3.1): VSS protocols need private p2p channels; "

@@ -16,6 +16,7 @@
 #include "core/report.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
@@ -23,7 +24,8 @@ constexpr std::uint64_t kSeed = 0xE13;
 const std::vector<std::size_t> kSampleCounts = {100, 200, 400, 800, 1600, 3200, 6400};
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E13/tester-power",
       "(methodology) finite-sample power of the definition testers: detection "

@@ -14,6 +14,7 @@
 
 #include "core/report.h"
 #include "dist/classes.h"
+#include "exec/runner.h"
 
 namespace {
 
@@ -29,7 +30,8 @@ struct Entry {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E1/classes", "Claim 5.6: Singleton, Uniform strictly inside D(G) strictly inside "
                     "D(CR) strictly inside D(Sb) = All",

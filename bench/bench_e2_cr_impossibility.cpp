@@ -10,10 +10,12 @@
 // correlated inputs, so an input-borne predicate correlates with W_i no
 // matter how the protocol works.  As a control, the same protocols under
 // the (product) uniform ensemble all pass.
+#include <algorithm>
 #include <iostream>
 
 #include "core/registry.h"
 #include "core/report.h"
+#include "exec/runner.h"
 #include "testers/cr_tester.h"
 
 namespace {
@@ -22,7 +24,8 @@ constexpr std::uint64_t kSeed = 0xE2;
 constexpr std::size_t kSamples = 1500;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner("E2/cr-impossibility",
                      "Lemma 5.2: D outside Psi_C,n implies no protocol is CR-independent "
                      "under D",
@@ -36,6 +39,7 @@ int main() {
   core::Table table({"protocol", "ensemble", "CR verdict", "max gap", "radius", "worst (i, R)"});
   bool all_correlated_flagged = true;
   bool all_uniform_passed = true;
+  exec::BatchReport sweep_report;
 
   for (const std::string& name : core::protocol_names()) {
     // seq-broadcast-ds is the substrate-cost variant of seq-broadcast; its
@@ -49,8 +53,9 @@ int main() {
     spec.adversary = adversary::silent_factory();
 
     const auto eval = [&](const dist::InputEnsemble& ens, bool expect_violation) {
-      const auto samples = testers::collect_samples(spec, ens, kSamples, kSeed);
-      const testers::CrVerdict v = testers::test_cr(samples, spec.corrupted);
+      const auto batch = testers::collect_batch(spec, ens, kSamples, kSeed);
+      sweep_report = core::merge(sweep_report, batch.report);
+      const testers::CrVerdict v = testers::test_cr(batch.samples, spec.corrupted);
       table.add_row({name, ens.name(), v.independent ? "independent" : "VIOLATED",
                      core::fmt(v.max_gap), core::fmt(v.radius),
                      "P" + std::to_string(v.worst.party) + " / " + v.worst.predicate});
@@ -62,6 +67,29 @@ int main() {
     eval(*uniform, false);
   }
   std::cout << table.render() << "\n";
+  std::cout << core::describe(sweep_report) << "\n";
+
+  // With a parallel pool requested, re-run one representative cell serially
+  // and record the measured speedup next to the two batch reports (outputs
+  // are bit-identical by the engine's seeding contract, so this is a pure
+  // wall-clock comparison).
+  if (sweep_report.threads > 1) {
+    const auto proto = core::make_protocol("seq-broadcast");
+    testers::RunSpec spec;
+    spec.protocol = proto.get();
+    spec.params.n = 4;
+    spec.adversary = adversary::silent_factory();
+    const auto serial = testers::collect_batch(spec, *uniform, kSamples, kSeed, 1);
+    const auto parallel = testers::collect_batch(spec, *uniform, kSamples, kSeed);
+    std::cout << "[exec] speedup check (seq-broadcast x uniform): serial "
+              << core::fmt(serial.report.wall_seconds, 3) << "s vs " << parallel.report.threads
+              << " threads " << core::fmt(parallel.report.wall_seconds, 3) << "s = "
+              << core::fmt(serial.report.wall_seconds /
+                               std::max(parallel.report.wall_seconds, 1e-9),
+                           2)
+              << "x\n";
+  }
+  std::cout << "\n";
 
   const bool reproduced = all_correlated_flagged && all_uniform_passed;
   core::print_verdict_line(

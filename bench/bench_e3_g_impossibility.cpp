@@ -15,6 +15,7 @@
 #include "core/registry.h"
 #include "core/report.h"
 #include "testers/g_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
@@ -22,7 +23,8 @@ constexpr std::uint64_t kSeed = 0xE3;
 constexpr std::size_t kSamples = 3000;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E3/g-impossibility",
       "Lemma 5.4: D outside Psi_L,n implies no protocol is G-independent under D",

@@ -21,6 +21,7 @@
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/gstarstar_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
@@ -53,7 +54,8 @@ Row evaluate(const sim::ParallelBroadcastProtocol& proto, const dist::InputEnsem
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E4/separation-g-cr",
       "Lemma 6.4: Pi_G is (D(G), G)-independent but not CR-independent for any "

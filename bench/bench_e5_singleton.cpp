@@ -18,13 +18,15 @@
 #include "core/report.h"
 #include "testers/cr_tester.h"
 #include "testers/sb_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
 constexpr std::uint64_t kSeed = 0xE5;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E5/singleton",
       "Prop. 6.3: Singleton is trivial for CR but not trivial for Sb",

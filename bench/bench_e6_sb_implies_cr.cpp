@@ -16,13 +16,15 @@
 #include "core/report.h"
 #include "testers/cr_tester.h"
 #include "testers/sb_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
 constexpr std::uint64_t kSeed = 0xE6;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E6/sb-implies-cr",
       "Lemma 6.1: a protocol Sb-independent on all of D(CR) is CR-independent on all "

@@ -17,13 +17,15 @@
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/gstarstar_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
 constexpr std::uint64_t kSeed = 0xE7;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E7/cr-implies-g",
       "Lemma 6.2: a protocol CR-independent on all of D(G) is G-independent on all of "

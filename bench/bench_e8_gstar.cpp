@@ -16,6 +16,7 @@
 #include "stats/confidence.h"
 #include "testers/g_tester.h"
 #include "testers/gstarstar_tester.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
@@ -52,7 +53,8 @@ double gstar_gap(const RunSpec& spec, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E8/gstar",
       "Prop. B.3: G* and G** are equivalent; Prop. B.4: G** implies G on Psi_L,n",

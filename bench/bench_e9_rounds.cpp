@@ -14,6 +14,7 @@
 #include "core/registry.h"
 #include "core/report.h"
 #include "sim/network.h"
+#include "exec/runner.h"
 
 namespace {
 using namespace simulcast;
@@ -43,7 +44,8 @@ Measurement measure(const sim::ParallelBroadcastProtocol& proto, std::size_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
   core::print_banner(
       "E9/rounds",
       "Sections 1/7: rounds(CGMA) = Theta(n) [7], rounds(Chor-Rabin) = Theta(log n) "

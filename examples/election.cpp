@@ -39,12 +39,20 @@ Tally run_elections(const std::string& protocol, const adversary::AdversaryFacto
                     std::uint64_t seed) {
   core::Session session(protocol, kVoters);
   stats::Rng rng(seed);
+  // Votes and per-election seeds are drawn exactly as the serial loop drew
+  // them (fork never advances rng), then the 1500 elections ride the exec
+  // engine as one batch — set SIMULCAST_THREADS to shard them.
+  std::vector<BitVec> votes(kElections, BitVec(kVoters));
+  std::vector<std::uint64_t> seeds(kElections);
+  for (std::size_t e = 0; e < kElections; ++e) {
+    for (std::size_t v = 0; v < kVoters; ++v) votes[e].set(v, rng.bernoulli(0.5));
+    seeds[e] = rng.fork("e", e)();
+  }
+  const core::SessionBatch batch = session.run_batch_seeded(votes, seeds, {6}, factory);
+
   std::size_t matches = 0;
   std::size_t passes = 0;
-  for (std::size_t e = 0; e < kElections; ++e) {
-    BitVec votes(kVoters);
-    for (std::size_t v = 0; v < kVoters; ++v) votes.set(v, rng.bernoulli(0.5));
-    const auto result = session.run_with_adversary(votes, {6}, factory, rng.fork("e", e)());
+  for (const core::SessionResult& result : batch.results) {
     if (result.announced.get(6) == result.announced.get(0)) ++matches;
     if (static_cast<std::size_t>(result.announced.popcount()) * 2 > kVoters) ++passes;
   }

@@ -11,7 +11,11 @@
 //   distributions uniform | singleton:<bits> | copy | parity-even |
 //                 product:<p0,p1,...>
 //   options       --n=<parties=5> --corrupt=<i,j,...> --samples=<N=2000>
-//                 --seed=<s=1>
+//                 --seed=<s=1> --threads=<T=SIMULCAST_THREADS or 1>
+//
+// --threads (or the SIMULCAST_THREADS environment variable) shards the
+// sample collection across a thread pool; results are bit-identical for
+// every thread count (see DESIGN.md, "exec engine seeding contract").
 //
 // Examples:
 //   explore flawed-pi-g parity uniform --corrupt=1,3
@@ -22,6 +26,7 @@
 
 #include "core/registry.h"
 #include "core/report.h"
+#include "exec/runner.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/sb_tester.h"
@@ -33,7 +38,7 @@ using namespace simulcast;
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: explore <protocol> <adversary> <distribution> "
-               "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1]\n"
+               "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1]\n"
                "run 'explore list' to enumerate the registered protocols.\n";
   std::exit(2);
 }
@@ -91,9 +96,12 @@ int main(int argc, char** argv) {
       samples = std::stoul(arg.substr(10));
     else if (arg.rfind("--seed=", 0) == 0)
       seed = std::stoull(arg.substr(7));
+    else if (arg.rfind("--threads=", 0) == 0)
+      exec::set_default_threads(std::stoul(arg.substr(10)));
     else
       usage("unknown option '" + arg + "'");
   }
+  if (samples == 0) usage("--samples must be at least 1");
 
   try {
     const auto proto = core::make_protocol(protocol_name);
@@ -125,7 +133,9 @@ int main(int argc, char** argv) {
       std::cout << (i ? "," : "") << corrupted[i];
     std::cout << "}, " << samples << " executions, seed " << seed << ")\n\n";
 
-    const auto sample_set = testers::collect_samples(spec, *ensemble, samples, seed);
+    const auto batch = testers::collect_batch(spec, *ensemble, samples, seed);
+    const auto& sample_set = batch.samples;
+    std::cout << core::describe(batch.report) << "\n";
     std::cout << "consistency rate: " << core::fmt(testers::consistency_rate(sample_set))
               << "\n";
     const auto cr = testers::test_cr(sample_set, spec.corrupted);

@@ -25,17 +25,28 @@ ValueBroadcastResult ValueBroadcast::run_with_adversary(
   for (std::uint64_t v : values)
     if ((v & ~mask) != 0) throw UsageError("ValueBroadcast: value exceeds value_bits");
 
-  stats::Rng master(seed);
-  ValueBroadcastResult result;
-  result.announced.assign(n_, 0);
-  result.consistent = true;
-  result.correct = true;
+  // The per-bit sessions are mutually independent (fresh adversary, seed
+  // forked per bit), so they ride the exec engine as one prepared batch;
+  // folding in MSB-first bit order below keeps the composed values and the
+  // seed derivation identical to the historical serial chaining.
+  const stats::Rng master(seed);
+  std::vector<BitVec> bit_inputs;
+  bit_inputs.reserve(value_bits_);
+  std::vector<std::uint64_t> bit_seeds(value_bits_);
   for (std::size_t bit = 0; bit < value_bits_; ++bit) {
     const std::size_t shift = value_bits_ - 1 - bit;  // MSB first
     BitVec inputs(n_);
     for (std::size_t p = 0; p < n_; ++p) inputs.set(p, ((values[p] >> shift) & 1u) != 0);
-    const SessionResult session_result = session_.run_with_adversary(
-        inputs, corrupted, adversary, master.fork("bit", bit)());
+    bit_inputs.push_back(std::move(inputs));
+    bit_seeds[bit] = master.fork("bit", bit)();
+  }
+  const SessionBatch batch = session_.run_batch_seeded(bit_inputs, bit_seeds, corrupted, adversary);
+
+  ValueBroadcastResult result;
+  result.announced.assign(n_, 0);
+  result.consistent = true;
+  result.correct = true;
+  for (const SessionResult& session_result : batch.results) {
     result.consistent = result.consistent && session_result.consistent;
     result.correct = result.correct && session_result.correct;
     result.total_rounds += session_result.rounds;

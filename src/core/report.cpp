@@ -92,6 +92,32 @@ std::string describe(const testers::SbVerdict& v) {
   return os.str();
 }
 
+std::string describe(const exec::BatchReport& r) {
+  std::ostringstream os;
+  os << "[exec] executions=" << r.executions << " threads=" << r.threads << " wall="
+     << fmt(r.wall_seconds, 3) << "s throughput=" << fmt(r.throughput, 1)
+     << " exec/s rounds=" << r.total_rounds << " messages=" << r.traffic.messages
+     << " payload=" << r.traffic.payload_bytes << "B";
+  return os.str();
+}
+
+exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) {
+  exec::BatchReport out;
+  out.executions = a.executions + b.executions;
+  out.threads = std::max(a.threads, b.threads);
+  out.wall_seconds = a.wall_seconds + b.wall_seconds;
+  out.throughput = out.wall_seconds > 0.0
+                       ? static_cast<double>(out.executions) / out.wall_seconds
+                       : 0.0;
+  out.total_rounds = a.total_rounds + b.total_rounds;
+  out.traffic.messages = a.traffic.messages + b.traffic.messages;
+  out.traffic.point_to_point = a.traffic.point_to_point + b.traffic.point_to_point;
+  out.traffic.broadcasts = a.traffic.broadcasts + b.traffic.broadcasts;
+  out.traffic.payload_bytes = a.traffic.payload_bytes + b.traffic.payload_bytes;
+  out.traffic.delivered_bytes = a.traffic.delivered_bytes + b.traffic.delivered_bytes;
+  return out;
+}
+
 void print_banner(const std::string& experiment_id, const std::string& paper_claim,
                   const std::string& setup) {
   std::cout << "\n=== " << experiment_id << " ===\n"

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/runner.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/gstarstar_tester.h"
@@ -38,6 +39,14 @@ class Table {
 [[nodiscard]] std::string describe(const testers::GVerdict& v);
 [[nodiscard]] std::string describe(const testers::GssVerdict& v);
 [[nodiscard]] std::string describe(const testers::SbVerdict& v);
+
+/// Engine accounting line: executions, pool width, wall clock, throughput
+/// and aggregate traffic of a batch (what the "[exec]" bench lines print).
+[[nodiscard]] std::string describe(const exec::BatchReport& r);
+
+/// Sums batch reports of one sweep into a single aggregate (wall clocks
+/// add; throughput is recomputed from the sums).
+[[nodiscard]] exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b);
 
 /// Experiment banner: id, paper claim, and what is being run.
 void print_banner(const std::string& experiment_id, const std::string& paper_claim,

@@ -49,4 +49,51 @@ SessionResult Session::run_with_adversary(const BitVec& inputs,
   return result;
 }
 
+SessionBatch Session::run_batch(const std::vector<BitVec>& inputs, std::uint64_t seed,
+                                std::size_t threads) const {
+  return run_batch_with_adversary(inputs, {}, adversary::silent_factory(), seed, threads);
+}
+
+SessionBatch Session::run_batch_with_adversary(const std::vector<BitVec>& inputs,
+                                               const std::vector<sim::PartyId>& corrupted,
+                                               const adversary::AdversaryFactory& adversary,
+                                               std::uint64_t seed, std::size_t threads) const {
+  const stats::Rng master(seed);
+  std::vector<std::uint64_t> seeds(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) seeds[i] = master.fork("session", i)();
+  return run_batch_seeded(inputs, seeds, corrupted, adversary, threads);
+}
+
+SessionBatch Session::run_batch_seeded(const std::vector<BitVec>& inputs,
+                                       const std::vector<std::uint64_t>& seeds,
+                                       const std::vector<sim::PartyId>& corrupted,
+                                       const adversary::AdversaryFactory& adversary,
+                                       std::size_t threads) const {
+  exec::RunSpec spec;
+  spec.protocol = protocol_.get();
+  spec.params = params_;
+  spec.corrupted = corrupted;
+  spec.adversary = adversary;
+
+  exec::BatchResult batch = exec::Runner(threads).run_batch(spec, inputs, seeds);
+
+  SessionBatch out;
+  out.report = batch.report;
+  out.results.reserve(batch.samples.size());
+  for (std::size_t i = 0; i < batch.samples.size(); ++i) {
+    const exec::Sample& s = batch.samples[i];
+    SessionResult r;
+    r.announced = s.announced;
+    r.consistent = s.consistent;
+    // correct_for_honest short-circuits on inconsistency, so rebuilding the
+    // Announced view from the (possibly zeroed) sample vector is exact.
+    r.correct = broadcast::correct_for_honest({s.announced, s.consistent}, inputs[i], corrupted);
+    r.rounds = s.rounds;
+    r.messages = s.traffic.messages;
+    r.payload_bytes = s.traffic.payload_bytes;
+    out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
 }  // namespace simulcast::core

@@ -12,6 +12,7 @@
 
 #include "adversary/adversaries.h"
 #include "base/bitvec.h"
+#include "exec/runner.h"
 #include "sim/protocol.h"
 
 namespace simulcast::core {
@@ -23,6 +24,12 @@ struct SessionResult {
   std::size_t rounds = 0;
   std::size_t messages = 0;
   std::size_t payload_bytes = 0;
+};
+
+/// A repetition sweep's results plus the engine's batch accounting.
+struct SessionBatch {
+  std::vector<SessionResult> results;  ///< one per input vector, in order
+  exec::BatchReport report;
 };
 
 class Session {
@@ -46,6 +53,27 @@ class Session {
   [[nodiscard]] SessionResult run_with_adversary(
       const BitVec& inputs, const std::vector<sim::PartyId>& corrupted,
       const adversary::AdversaryFactory& adversary, std::uint64_t seed) const;
+
+  /// Repetition sweep: runs one all-honest session per input vector, with
+  /// per-session seeds `master(seed).fork("session", i)`, sharded across
+  /// `threads` workers (0 = exec::default_threads()).  Results are ordered
+  /// and bit-identical for every thread count.
+  [[nodiscard]] SessionBatch run_batch(const std::vector<BitVec>& inputs, std::uint64_t seed,
+                                       std::size_t threads = 0) const;
+
+  /// Adversarial repetition sweep with the same seeding contract.
+  [[nodiscard]] SessionBatch run_batch_with_adversary(
+      const std::vector<BitVec>& inputs, const std::vector<sim::PartyId>& corrupted,
+      const adversary::AdversaryFactory& adversary, std::uint64_t seed,
+      std::size_t threads = 0) const;
+
+  /// Sweep with caller-derived per-session seeds (how ValueBroadcast's
+  /// per-bit sessions and seed-compatible callers ride the engine without
+  /// changing their historical seed derivation).
+  [[nodiscard]] SessionBatch run_batch_seeded(
+      const std::vector<BitVec>& inputs, const std::vector<std::uint64_t>& seeds,
+      const std::vector<sim::PartyId>& corrupted, const adversary::AdversaryFactory& adversary,
+      std::size_t threads = 0) const;
 
   [[nodiscard]] const sim::ParallelBroadcastProtocol& protocol() const { return *protocol_; }
   [[nodiscard]] const sim::ProtocolParams& params() const { return params_; }

@@ -1,0 +1,183 @@
+#include "exec/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "base/error.h"
+#include "broadcast/parallel_broadcast.h"
+
+namespace simulcast::exec {
+
+namespace {
+
+std::atomic<std::size_t> g_default_threads_override{0};
+
+std::size_t env_threads() {
+  const char* env = std::getenv("SIMULCAST_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const long value = std::strtol(env, nullptr, 10);
+  return value > 0 ? static_cast<std::size_t>(value) : 1;
+}
+
+Sample run_one(const RunSpec& spec, const BitVec& input, std::uint64_t exec_seed) {
+  sim::ExecutionConfig config;
+  config.seed = exec_seed;
+  config.corrupted = spec.corrupted;
+  config.auxiliary_input = spec.auxiliary_input;
+  config.private_channels = spec.private_channels;
+
+  const std::unique_ptr<sim::Adversary> adv = spec.adversary();
+  const sim::ExecutionResult result =
+      sim::run_execution(*spec.protocol, spec.params, input, *adv, config);
+  const broadcast::Announced announced = broadcast::extract_announced(result, spec.corrupted);
+
+  Sample s;
+  s.inputs = input;
+  s.announced = announced.consistent ? announced.w : BitVec(spec.params.n);
+  s.consistent = announced.consistent;
+  s.adversary_output = result.adversary_output;
+  s.rounds = result.rounds;
+  s.traffic = result.traffic;
+  return s;
+}
+
+/// Shards the prepared repetitions, fills the slots, and accounts the batch.
+BatchResult run_prepared(const RunSpec& spec, std::size_t threads,
+                         const std::function<const BitVec&(std::size_t)>& input_for,
+                         const std::vector<std::uint64_t>& seeds) {
+  BatchResult out;
+  out.samples.resize(seeds.size());
+  out.report.executions = seeds.size();
+  out.report.threads = threads < 1 ? 1 : threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for(seeds.size(), threads,
+               [&](std::size_t rep) { out.samples[rep] = run_one(spec, input_for(rep), seeds[rep]); });
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  out.report.wall_seconds = elapsed.count();
+  out.report.throughput = out.report.wall_seconds > 0.0
+                              ? static_cast<double>(seeds.size()) / out.report.wall_seconds
+                              : 0.0;
+  for (const Sample& s : out.samples) {
+    out.report.total_rounds += s.rounds;
+    out.report.traffic.messages += s.traffic.messages;
+    out.report.traffic.point_to_point += s.traffic.point_to_point;
+    out.report.traffic.broadcasts += s.traffic.broadcasts;
+    out.report.traffic.payload_bytes += s.traffic.payload_bytes;
+    out.report.traffic.delivered_bytes += s.traffic.delivered_bytes;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> fork_seeds(std::uint64_t seed, std::string_view label,
+                                      std::size_t count) {
+  const stats::Rng master(seed);
+  std::vector<std::uint64_t> seeds(count);
+  for (std::size_t rep = 0; rep < count; ++rep) seeds[rep] = master.fork(label, rep)();
+  return seeds;
+}
+
+}  // namespace
+
+std::size_t default_threads() {
+  const std::size_t override_value = g_default_threads_override.load(std::memory_order_relaxed);
+  return override_value != 0 ? override_value : env_threads();
+}
+
+void set_default_threads(std::size_t threads) {
+  g_default_threads_override.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t configure_threads(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const long value = std::strtol(arg.c_str() + 10, &end, 10);
+      if (value <= 0 || end == nullptr || *end != '\0') {
+        // This is the drivers' CLI knob: a clean usage exit beats an
+        // uncaught UsageError aborting the whole bench.
+        std::fprintf(stderr, "error: --threads must be a positive integer, got '%s'\n",
+                     arg.c_str() + 10);
+        std::exit(2);
+      }
+      set_default_threads(static_cast<std::size_t>(value));
+    }
+  }
+  return default_threads();
+}
+
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(threads < 1 ? 1 : threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) break;
+          body(i);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+Runner::Runner(std::size_t threads) : threads_(threads == 0 ? default_threads() : threads) {}
+
+BatchResult Runner::run_batch(const RunSpec& spec, const dist::InputEnsemble& ensemble,
+                              std::size_t count, std::uint64_t seed) const {
+  if (spec.protocol == nullptr) throw UsageError("exec::Runner: null protocol");
+  if (ensemble.bits() != spec.params.n) throw UsageError("exec::Runner: ensemble width != n");
+  const stats::Rng master(seed);
+  stats::Rng input_rng = master.fork("inputs");
+  std::vector<BitVec> inputs;
+  inputs.reserve(count);
+  for (std::size_t rep = 0; rep < count; ++rep) inputs.push_back(ensemble.sample(input_rng));
+  return run_prepared(spec, threads_,
+                      [&inputs](std::size_t rep) -> const BitVec& { return inputs[rep]; },
+                      fork_seeds(seed, "exec", count));
+}
+
+BatchResult Runner::run_batch(const RunSpec& spec, const BitVec& input, std::size_t count,
+                              std::uint64_t seed) const {
+  if (spec.protocol == nullptr) throw UsageError("exec::Runner: null protocol");
+  if (input.size() != spec.params.n) throw UsageError("exec::Runner: input width != n");
+  return run_prepared(spec, threads_, [&input](std::size_t) -> const BitVec& { return input; },
+                      fork_seeds(seed, "exec-fixed", count));
+}
+
+BatchResult Runner::run_batch(const RunSpec& spec, const std::vector<BitVec>& inputs,
+                              const std::vector<std::uint64_t>& seeds) const {
+  if (spec.protocol == nullptr) throw UsageError("exec::Runner: null protocol");
+  if (inputs.size() != seeds.size())
+    throw UsageError("exec::Runner: inputs.size() != seeds.size()");
+  for (const BitVec& input : inputs)
+    if (input.size() != spec.params.n) throw UsageError("exec::Runner: input width != n");
+  return run_prepared(spec, threads_,
+                      [&inputs](std::size_t rep) -> const BitVec& { return inputs[rep]; }, seeds);
+}
+
+}  // namespace simulcast::exec

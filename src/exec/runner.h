@@ -1,0 +1,127 @@
+// The parallel deterministic experiment engine.
+//
+// Every quantity this repository measures is estimated from N independent
+// protocol executions, and one execution is a pure function of
+// (protocol, adversary, inputs, seed).  The Runner exploits exactly that
+// purity: it shards the N repetitions across a fixed pool of threads while
+// deriving each repetition's seed the same way the serial loops always did
+// (`master.fork(label, rep)`), and writes each repetition's Sample into a
+// pre-sized slot.  Output order and values are therefore bit-identical for
+// every thread count, including the serial fallback at threads <= 1 — the
+// schedule decides only *when* a slot is filled, never *what* goes in it.
+//
+// Seeding contract (documented in DESIGN.md section 6):
+//   - ensemble batches draw all inputs up front from `master.fork("inputs")`
+//     in repetition order, so the input stream is consumed exactly as the
+//     historical serial loop consumed it;
+//   - repetition r executes with seed `master.fork("exec", r)()` (ensemble
+//     batches) or `master.fork("exec-fixed", r)()` (fixed-input batches);
+//   - Rng::fork never advances the parent, so preforking all seeds first is
+//     observationally identical to forking lazily inside the loop.
+//
+// There is no work stealing: workers pull repetition indices from a single
+// atomic dispenser, which keeps the pool trivially exception-safe (a failed
+// worker parks, the rest drain, join always completes) at the cost of one
+// relaxed fetch_add per repetition — noise next to a protocol execution.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "adversary/adversaries.h"
+#include "dist/ensembles.h"
+#include "sim/network.h"
+#include "stats/rng.h"
+
+namespace simulcast::exec {
+
+/// Everything needed to run one (protocol, adversary, corruption) triple.
+/// (Exposed to testers as testers::RunSpec; the fields predate the engine.)
+struct RunSpec {
+  const sim::ParallelBroadcastProtocol* protocol = nullptr;
+  sim::ProtocolParams params;
+  std::vector<sim::PartyId> corrupted;
+  adversary::AdversaryFactory adversary;
+  Bytes auxiliary_input;
+  bool private_channels = true;
+};
+
+/// One execution's observables.
+struct Sample {
+  BitVec inputs;           ///< x as drawn (or fixed)
+  BitVec announced;        ///< W (Definition 3.1); zeroed when inconsistent
+  bool consistent = false; ///< honest outputs agreed
+  Bytes adversary_output;
+  std::size_t rounds = 0;      ///< rounds this execution ran
+  sim::TrafficStats traffic;   ///< this execution's traffic
+};
+
+/// Per-batch accounting: aggregated traffic plus wall-clock/throughput
+/// counters for the whole batch (the substrate every scaling experiment
+/// reports against).
+struct BatchReport {
+  std::size_t executions = 0;
+  std::size_t threads = 1;       ///< pool width the batch ran with
+  double wall_seconds = 0.0;     ///< wall-clock time of the sharded region
+  double throughput = 0.0;       ///< executions per second
+  std::size_t total_rounds = 0;  ///< sum of per-execution round counts
+  sim::TrafficStats traffic;     ///< sums over all executions
+};
+
+struct BatchResult {
+  std::vector<Sample> samples;
+  BatchReport report;
+};
+
+/// Process-wide default pool width: the last set_default_threads() value if
+/// any, else the SIMULCAST_THREADS environment variable, else 1 (serial).
+/// Results never depend on the value; only wall-clock does.
+[[nodiscard]] std::size_t default_threads();
+
+/// Installs `threads` as the process-wide default (0 clears the override,
+/// falling back to SIMULCAST_THREADS / 1).
+void set_default_threads(std::size_t threads);
+
+/// Scans argv for --threads=N, installs it as the process default when
+/// present, and returns the effective default.  The uniform knob every
+/// bench driver and example exposes.
+std::size_t configure_threads(int argc, char** argv);
+
+/// Runs body(i) for every i in [0, count) on up to `threads` workers and
+/// returns once all indices completed.  If any body throws, remaining
+/// indices are abandoned, all workers join, and the first captured
+/// exception (by worker index) is rethrown — the pool cannot deadlock on a
+/// throwing body.  threads <= 1 runs inline with zero thread overhead.
+void parallel_for(std::size_t count, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+/// The engine.  A Runner is a configuration object (pool width), cheap to
+/// construct; threads are spawned per batch so idle Runners hold nothing.
+class Runner {
+ public:
+  /// `threads` = 0 means "use default_threads() at construction time".
+  explicit Runner(std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  /// Runs `count` executions with inputs drawn from `ensemble` (drawn
+  /// serially up front, in repetition order, from master.fork("inputs")).
+  [[nodiscard]] BatchResult run_batch(const RunSpec& spec, const dist::InputEnsemble& ensemble,
+                                      std::size_t count, std::uint64_t seed) const;
+
+  /// Runs `count` executions with the same fixed input vector.
+  [[nodiscard]] BatchResult run_batch(const RunSpec& spec, const BitVec& input,
+                                      std::size_t count, std::uint64_t seed) const;
+
+  /// Fully prepared batch: caller supplies one input vector and one seed
+  /// per repetition (how Session sweeps and ValueBroadcast's per-bit
+  /// sessions ride the engine without changing their seed derivations).
+  [[nodiscard]] BatchResult run_batch(const RunSpec& spec, const std::vector<BitVec>& inputs,
+                                      const std::vector<std::uint64_t>& seeds) const;
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace simulcast::exec

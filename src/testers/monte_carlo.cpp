@@ -4,59 +4,29 @@
 
 namespace simulcast::testers {
 
-namespace {
-
-Sample run_one(const RunSpec& spec, const BitVec& input, std::uint64_t exec_seed) {
-  sim::ExecutionConfig config;
-  config.seed = exec_seed;
-  config.corrupted = spec.corrupted;
-  config.auxiliary_input = spec.auxiliary_input;
-  config.private_channels = spec.private_channels;
-
-  const std::unique_ptr<sim::Adversary> adv = spec.adversary();
-  const sim::ExecutionResult result =
-      sim::run_execution(*spec.protocol, spec.params, input, *adv, config);
-  const broadcast::Announced announced = broadcast::extract_announced(result, spec.corrupted);
-
-  Sample s;
-  s.inputs = input;
-  s.announced = announced.consistent ? announced.w : BitVec(spec.params.n);
-  s.consistent = announced.consistent;
-  s.adversary_output = result.adversary_output;
-  return s;
-}
-
-}  // namespace
-
 std::vector<Sample> collect_samples(const RunSpec& spec, const dist::InputEnsemble& ensemble,
-                                    std::size_t count, std::uint64_t seed) {
-  if (spec.protocol == nullptr) throw UsageError("collect_samples: null protocol");
-  if (ensemble.bits() != spec.params.n) throw UsageError("collect_samples: ensemble width != n");
-  stats::Rng master(seed);
-  stats::Rng input_rng = master.fork("inputs");
-  std::vector<Sample> samples;
-  samples.reserve(count);
-  for (std::size_t rep = 0; rep < count; ++rep) {
-    const BitVec input = ensemble.sample(input_rng);
-    samples.push_back(run_one(spec, input, master.fork("exec", rep)()));
-  }
-  return samples;
+                                    std::size_t count, std::uint64_t seed, std::size_t threads) {
+  return collect_batch(spec, ensemble, count, seed, threads).samples;
 }
 
 std::vector<Sample> collect_samples_fixed(const RunSpec& spec, const BitVec& input,
-                                          std::size_t count, std::uint64_t seed) {
-  if (spec.protocol == nullptr) throw UsageError("collect_samples_fixed: null protocol");
-  if (input.size() != spec.params.n) throw UsageError("collect_samples_fixed: width != n");
-  stats::Rng master(seed);
-  std::vector<Sample> samples;
-  samples.reserve(count);
-  for (std::size_t rep = 0; rep < count; ++rep)
-    samples.push_back(run_one(spec, input, master.fork("exec-fixed", rep)()));
-  return samples;
+                                          std::size_t count, std::uint64_t seed,
+                                          std::size_t threads) {
+  return collect_batch_fixed(spec, input, count, seed, threads).samples;
+}
+
+exec::BatchResult collect_batch(const RunSpec& spec, const dist::InputEnsemble& ensemble,
+                                std::size_t count, std::uint64_t seed, std::size_t threads) {
+  return exec::Runner(threads).run_batch(spec, ensemble, count, seed);
+}
+
+exec::BatchResult collect_batch_fixed(const RunSpec& spec, const BitVec& input, std::size_t count,
+                                      std::uint64_t seed, std::size_t threads) {
+  return exec::Runner(threads).run_batch(spec, input, count, seed);
 }
 
 double consistency_rate(const std::vector<Sample>& samples) {
-  if (samples.empty()) return 0.0;
+  if (samples.empty()) throw UsageError("consistency_rate: empty sample set");
   std::size_t ok = 0;
   for (const Sample& s : samples) ok += s.consistent ? 1 : 0;
   return static_cast<double>(ok) / static_cast<double>(samples.size());

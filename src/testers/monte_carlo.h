@@ -4,49 +4,52 @@
 // independent executions: fresh input draw, fresh protocol randomness,
 // fresh adversary instance, all derived from (seed, repetition index) so a
 // whole experiment replays exactly.
+//
+// Since the exec::Runner engine landed, this header is a thin facade: the
+// repetition loop, the seed derivation and the parallel sharding live in
+// exec/runner.h, and `threads` (0 = exec::default_threads()) only changes
+// wall-clock time, never a single output bit.
 #pragma once
 
-#include <functional>
 #include <vector>
 
-#include "adversary/adversaries.h"
-#include "broadcast/parallel_broadcast.h"
-#include "dist/ensembles.h"
-#include "sim/network.h"
-#include "stats/rng.h"
+#include "exec/runner.h"
 
 namespace simulcast::testers {
 
 /// Everything needed to run one (protocol, adversary, corruption) triple.
-struct RunSpec {
-  const sim::ParallelBroadcastProtocol* protocol = nullptr;
-  sim::ProtocolParams params;
-  std::vector<sim::PartyId> corrupted;
-  adversary::AdversaryFactory adversary;
-  Bytes auxiliary_input;
-  bool private_channels = true;
-};
+using RunSpec = exec::RunSpec;
 
 /// One execution's observables.
-struct Sample {
-  BitVec inputs;           ///< x as drawn (or fixed)
-  BitVec announced;        ///< W (Definition 3.1)
-  bool consistent = false; ///< honest outputs agreed
-  Bytes adversary_output;
-};
+using Sample = exec::Sample;
 
 /// Runs `count` executions with inputs drawn from `ensemble`.
 [[nodiscard]] std::vector<Sample> collect_samples(const RunSpec& spec,
                                                   const dist::InputEnsemble& ensemble,
-                                                  std::size_t count, std::uint64_t seed);
+                                                  std::size_t count, std::uint64_t seed,
+                                                  std::size_t threads = 0);
 
 /// Runs `count` executions with the given fixed input vector (the quantity
 /// Announced^Π_A(x) of Definition 3.1; used by the G** tester).
 [[nodiscard]] std::vector<Sample> collect_samples_fixed(const RunSpec& spec, const BitVec& input,
-                                                        std::size_t count, std::uint64_t seed);
+                                                        std::size_t count, std::uint64_t seed,
+                                                        std::size_t threads = 0);
+
+/// collect_samples, but also returning the engine's per-batch accounting
+/// (wall clock, throughput, aggregated traffic).
+[[nodiscard]] exec::BatchResult collect_batch(const RunSpec& spec,
+                                              const dist::InputEnsemble& ensemble,
+                                              std::size_t count, std::uint64_t seed,
+                                              std::size_t threads = 0);
+
+/// collect_samples_fixed with the batch report.
+[[nodiscard]] exec::BatchResult collect_batch_fixed(const RunSpec& spec, const BitVec& input,
+                                                    std::size_t count, std::uint64_t seed,
+                                                    std::size_t threads = 0);
 
 /// Fraction of samples with consistent honest outputs (should be ~1 for a
-/// correct parallel-broadcast protocol under any adversary).
+/// correct parallel-broadcast protocol under any adversary).  Throws
+/// UsageError on an empty sample set: 0/0 is not "always inconsistent".
 [[nodiscard]] double consistency_rate(const std::vector<Sample>& samples);
 
 /// Sorted honest coordinate list for a sample width and corruption set.

@@ -54,35 +54,47 @@ SbVerdict test_sb(const RunSpec& spec, const dist::InputEnsemble& ensemble,
   stats::Rng master(seed);
   stats::Rng input_rng = master.fork("sb-inputs");
 
-  stats::EmpiricalDist real_joint(2 * n);
-  stats::EmpiricalDist ideal_joint(2 * n);
-  std::vector<std::pair<BitVec, BitVec>> real_pairs;
-  std::vector<std::pair<BitVec, BitVec>> ideal_pairs;
-  real_pairs.reserve(options.samples);
-  ideal_pairs.reserve(options.samples);
-
+  // Inputs and per-repetition seeds are derived serially, exactly as the
+  // historical loop consumed them; the 2*samples executions then shard
+  // across the exec engine and land in repetition-indexed slots, so the
+  // verdict is bit-identical for every thread count.
+  std::vector<BitVec> xs;
+  xs.reserve(options.samples);
+  std::vector<std::uint64_t> real_seeds(options.samples);
+  std::vector<std::uint64_t> ideal_seeds(options.samples);
   for (std::size_t rep = 0; rep < options.samples; ++rep) {
-    const BitVec x = ensemble.sample(input_rng);
+    xs.push_back(ensemble.sample(input_rng));
+    real_seeds[rep] = master.fork("sb-real", rep)();
+    ideal_seeds[rep] = master.fork("sb-ideal", rep)();
+  }
+
+  std::vector<std::pair<BitVec, BitVec>> real_pairs(options.samples);
+  std::vector<std::pair<BitVec, BitVec>> ideal_pairs(options.samples);
+  exec::parallel_for(options.samples, exec::default_threads(), [&](std::size_t rep) {
+    const BitVec& x = xs[rep];
 
     // Real world.
     {
-      const std::vector<Sample> s =
-          collect_samples_fixed(spec, x, 1, master.fork("sb-real", rep)());
-      real_joint.add(pack_pair(x, s.front().announced));
-      real_pairs.emplace_back(x, s.front().announced);
+      const std::vector<Sample> s = collect_samples_fixed(spec, x, 1, real_seeds[rep], 1);
+      real_pairs[rep] = {x, s.front().announced};
     }
     // Ideal world with the dummy-input simulator: sandbox the adversary on
     // honest inputs pinned to 0 and read off the corrupted announced values.
     {
       BitVec dummy = x;
       for (std::size_t j : honest) dummy.set(j, false);
-      const std::vector<Sample> s =
-          collect_samples_fixed(spec, dummy, 1, master.fork("sb-ideal", rep)());
+      const std::vector<Sample> s = collect_samples_fixed(spec, dummy, 1, ideal_seeds[rep], 1);
       BitVec w_ideal = x;  // f_SB hands honest inputs through verbatim
       for (std::size_t c : spec.corrupted) w_ideal.set(c, s.front().announced.get(c));
-      ideal_joint.add(pack_pair(x, w_ideal));
-      ideal_pairs.emplace_back(x, w_ideal);
+      ideal_pairs[rep] = {x, w_ideal};
     }
+  });
+
+  stats::EmpiricalDist real_joint(2 * n);
+  stats::EmpiricalDist ideal_joint(2 * n);
+  for (std::size_t rep = 0; rep < options.samples; ++rep) {
+    real_joint.add(pack_pair(real_pairs[rep].first, real_pairs[rep].second));
+    ideal_joint.add(pack_pair(ideal_pairs[rep].first, ideal_pairs[rep].second));
   }
 
   SbVerdict verdict;

@@ -1,0 +1,175 @@
+#include "exec/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "base/error.h"
+#include "core/registry.h"
+#include "core/session.h"
+#include "crypto/commitment.h"
+#include "testers/monte_carlo.h"
+
+namespace simulcast::exec {
+namespace {
+
+bool same_sample(const Sample& a, const Sample& b) {
+  return a.inputs == b.inputs && a.announced == b.announced && a.consistent == b.consistent &&
+         a.adversary_output == b.adversary_output && a.rounds == b.rounds &&
+         a.traffic.messages == b.traffic.messages &&
+         a.traffic.point_to_point == b.traffic.point_to_point &&
+         a.traffic.broadcasts == b.traffic.broadcasts &&
+         a.traffic.payload_bytes == b.traffic.payload_bytes &&
+         a.traffic.delivered_bytes == b.traffic.delivered_bytes;
+}
+
+RunSpec spec_for(const sim::ParallelBroadcastProtocol& proto, std::size_t n) {
+  static const crypto::HashCommitmentScheme scheme;
+  RunSpec spec;
+  spec.protocol = &proto;
+  spec.params.n = n;
+  spec.params.commitments = &scheme;
+  spec.adversary = adversary::silent_factory();
+  return spec;
+}
+
+// The engine's contract: for every registered protocol, the sample vector is
+// byte-identical whether the batch ran serially or sharded across a pool.
+TEST(Runner, ParallelMatchesSerialForAllProtocols) {
+  const auto ens = dist::make_uniform(4);
+  for (const std::string& name : core::protocol_names()) {
+    const auto proto = core::make_protocol(name);
+    const RunSpec spec = spec_for(*proto, 4);
+    // seq-broadcast-ds signs everything; a handful of executions suffices.
+    const std::size_t count = name == "seq-broadcast-ds" ? 3 : 10;
+    const auto serial = testers::collect_samples(spec, *ens, count, 7, 1);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const auto parallel = testers::collect_samples(spec, *ens, count, 7, threads);
+      ASSERT_EQ(serial.size(), parallel.size()) << name;
+      for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_TRUE(same_sample(serial[i], parallel[i])) << name << " rep " << i;
+    }
+  }
+}
+
+TEST(Runner, ParallelMatchesSerialFixedInput) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const BitVec input = BitVec::from_string("1010");
+  const auto serial = testers::collect_samples_fixed(spec, input, 16, 11, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto parallel = testers::collect_samples_fixed(spec, input, 16, 11, threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_TRUE(same_sample(serial[i], parallel[i])) << "rep " << i;
+  }
+}
+
+TEST(Runner, BatchReportAggregatesTraffic) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const auto ens = dist::make_uniform(4);
+  const auto batch = testers::collect_batch(spec, *ens, 12, 3, 2);
+  EXPECT_EQ(batch.report.executions, 12u);
+  EXPECT_EQ(batch.report.threads, 2u);
+  EXPECT_GT(batch.report.wall_seconds, 0.0);
+  EXPECT_GT(batch.report.throughput, 0.0);
+  std::size_t messages = 0;
+  std::size_t rounds = 0;
+  for (const Sample& s : batch.samples) {
+    messages += s.traffic.messages;
+    rounds += s.rounds;
+  }
+  EXPECT_EQ(batch.report.traffic.messages, messages);
+  EXPECT_EQ(batch.report.total_rounds, rounds);
+  EXPECT_GT(messages, 0u);
+}
+
+/// A protocol whose machines cannot be built: exercises exception flow out
+/// of worker threads.
+class ThrowingProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "throwing"; }
+  [[nodiscard]] std::size_t rounds(std::size_t) const override { return 1; }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(sim::PartyId, bool,
+                                                       const sim::ProtocolParams&) const override {
+    throw ProtocolError("throwing protocol: make_party");
+  }
+};
+
+// A throwing execution must propagate out of the pool (first exception wins)
+// and must not deadlock the join, at any thread count.
+TEST(Runner, ExceptionPropagatesWithoutDeadlock) {
+  const ThrowingProtocol proto;
+  RunSpec spec;
+  spec.protocol = &proto;
+  spec.params.n = 4;
+  spec.adversary = adversary::silent_factory();
+  const BitVec input(4);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    EXPECT_THROW((void)testers::collect_samples_fixed(spec, input, 64, 1, threads),
+                 ProtocolError);
+  }
+}
+
+TEST(Runner, Validation) {
+  const auto proto = core::make_protocol("gennaro");
+  const auto ens = dist::make_uniform(4);
+  RunSpec null_spec;
+  EXPECT_THROW((void)Runner(2).run_batch(null_spec, *ens, 1, 1), UsageError);
+  RunSpec spec = spec_for(*proto, 5);
+  EXPECT_THROW((void)Runner(2).run_batch(spec, *ens, 1, 1), UsageError);  // width 4 != n 5
+  EXPECT_THROW((void)Runner(2).run_batch(spec, BitVec(4), 1, 1), UsageError);
+  EXPECT_THROW((void)Runner(2).run_batch(spec, {BitVec(5)}, {1, 2}), UsageError);  // 1 input, 2 seeds
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  parallel_for(0, 8, [&](std::size_t) { FAIL() << "body called for empty range"; });
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(hits.size(), 16, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DefaultThreads, OverrideAndClear) {
+  set_default_threads(5);
+  EXPECT_EQ(default_threads(), 5u);
+  EXPECT_EQ(Runner().threads(), 5u);
+  EXPECT_EQ(Runner(3).threads(), 3u);
+  set_default_threads(0);  // back to env / serial
+}
+
+// Session-level sweeps ride the same engine: a sharded batch must equal the
+// one-at-a-time facade calls it replaced.
+TEST(SessionBatch, MatchesSerialSessions) {
+  const core::Session session("gennaro", 4);
+  std::vector<BitVec> inputs;
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 8; ++i) {
+    inputs.push_back(BitVec(4, i & 0xF));
+    seeds.push_back(1000 + i);
+  }
+  const core::SessionBatch batch = session.run_batch_seeded(
+      inputs, seeds, {1}, adversary::copy_last_factory(0), 4);
+  ASSERT_EQ(batch.results.size(), inputs.size());
+  EXPECT_EQ(batch.report.executions, inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const core::SessionResult one =
+        session.run_with_adversary(inputs[i], {1}, adversary::copy_last_factory(0), seeds[i]);
+    EXPECT_EQ(batch.results[i].announced, one.announced) << i;
+    EXPECT_EQ(batch.results[i].consistent, one.consistent) << i;
+    EXPECT_EQ(batch.results[i].correct, one.correct) << i;
+    EXPECT_EQ(batch.results[i].rounds, one.rounds) << i;
+    EXPECT_EQ(batch.results[i].messages, one.messages) << i;
+    EXPECT_EQ(batch.results[i].payload_bytes, one.payload_bytes) << i;
+  }
+}
+
+}  // namespace
+}  // namespace simulcast::exec

@@ -83,6 +83,11 @@ TEST(MonteCarlo, FixedInputProtocolRandomnessVaries) {
   EXPECT_LT(ones, 75u);
 }
 
+TEST(MonteCarlo, ConsistencyRateRejectsEmptySampleSet) {
+  // 0.0 for an empty set would read as "always inconsistent".
+  EXPECT_THROW((void)consistency_rate({}), UsageError);
+}
+
 TEST(MonteCarlo, Validation) {
   const auto proto = core::make_protocol("gennaro");
   RunSpec null_spec;
