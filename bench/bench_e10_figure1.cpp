@@ -27,11 +27,16 @@ constexpr std::uint64_t kSeed = 0xE10;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner("E10/figure1",
-                     "Figure 1: Sb =(D(CR))=> CR, CR =/= (Singleton)=> Sb; CR =(D(G))=> G, "
-                     "G =/= (D(G))=> CR",
-                     "composes the four arrows from dedicated measurements (n = 4..5)");
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E10/figure1";
+  rec.paper_claim =
+      "Figure 1: Sb =(D(CR))=> CR, CR =/= (Singleton)=> Sb; CR =(D(G))=> G, "
+      "G =/= (D(G))=> CR";
+  rec.setup = "composes the four arrows from dedicated measurements (n = 4..5)";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   const auto uniform4 = dist::make_uniform(4);
   const auto uniform5 = dist::make_uniform(5);
@@ -48,9 +53,16 @@ int main(int argc, char** argv) {
     testers::SbOptions sb_options;
     sb_options.samples = 900;
     const auto sb = testers::test_sb(spec, *uniform4, sb_options, kSeed);
-    const auto samples = testers::collect_samples(spec, *uniform4, 2500, kSeed + 1);
-    const auto cr = testers::test_cr(samples, spec.corrupted);
+    const auto batch = testers::collect_batch(spec, *uniform4, 2500, kSeed + 1);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const auto cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(batch.samples, spec.corrupted); });
     arrow1 = sb.secure && cr.independent;
+    rec.cells.push_back(
+        {"Sb => CR (gennaro/passive, uniform)",
+         obs::check(arrow1, std::string("Sb ") + core::verdict_str(sb.secure) + ", CR " +
+                                core::verdict_str(cr.independent))});
     std::cout << "Sb ==> CR   (gennaro/passive, uniform):    Sb "
               << core::verdict_str(sb.secure) << ", CR " << core::verdict_str(cr.independent)
               << "\n";
@@ -66,12 +78,20 @@ int main(int argc, char** argv) {
     spec.corrupted = {3};
     spec.adversary = adversary::copy_last_factory(0);
     const dist::SingletonEnsemble singleton(BitVec::from_string("1011"));
-    const auto samples = testers::collect_samples(spec, singleton, 800, kSeed + 2);
-    const auto cr = testers::test_cr(samples, spec.corrupted);
+    const auto batch = testers::collect_batch(spec, singleton, 800, kSeed + 2);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const auto cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(batch.samples, spec.corrupted); });
     testers::SbOptions sb_options;
     sb_options.samples = 600;
     const auto sb = testers::test_sb(spec, singleton, sb_options, kSeed + 3);
     arrow2 = cr.independent && !sb.secure;
+    rec.cells.push_back(
+        {"CR =/=> Sb (seq/copy, singleton 1011)",
+         obs::check(arrow2, std::string("CR ") + core::verdict_str(cr.independent) + ", Sb " +
+                                core::verdict_str(sb.secure) +
+                                " (separation needs CR PASS + Sb FAIL)")});
     std::cout << "CR =/=> Sb  (seq/copy, singleton 1011):    CR "
               << core::verdict_str(cr.independent) << ", Sb " << core::verdict_str(sb.secure)
               << " (separation needs CR PASS + Sb FAIL)\n";
@@ -86,10 +106,19 @@ int main(int argc, char** argv) {
     spec.params.n = 4;
     spec.corrupted = {1};
     spec.adversary = adversary::passive_factory(*proto, spec.params);
-    const auto samples = testers::collect_samples(spec, *uniform4, 3000, kSeed + 4);
-    const auto cr = testers::test_cr(samples, spec.corrupted);
-    const auto g = testers::test_g(samples, spec.corrupted);
+    const auto batch = testers::collect_batch(spec, *uniform4, 3000, kSeed + 4);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const auto cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(batch.samples, spec.corrupted); });
+    const auto g = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_g(batch.samples, spec.corrupted); });
     arrow3 = cr.independent && g.independent;
+    rec.cells.push_back(
+        {"CR => G (gennaro/passive, uniform)",
+         obs::check(arrow3, std::string("CR ") + core::verdict_str(cr.independent) + ", G " +
+                                core::verdict_str(g.independent))});
     std::cout << "CR ==> G    (gennaro/passive, uniform):    CR "
               << core::verdict_str(cr.independent) << ", G " << core::verdict_str(g.independent)
               << "\n";
@@ -104,10 +133,20 @@ int main(int argc, char** argv) {
     spec.params.n = 5;
     spec.corrupted = {1, 3};
     spec.adversary = adversary::parity_factory();
-    const auto samples = testers::collect_samples(spec, *uniform5, 4000, kSeed + 5);
-    const auto g = testers::test_g(samples, spec.corrupted);
-    const auto cr = testers::test_cr(samples, spec.corrupted);
+    const auto batch = testers::collect_batch(spec, *uniform5, 4000, kSeed + 5);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const auto g = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_g(batch.samples, spec.corrupted); });
+    const auto cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(batch.samples, spec.corrupted); });
     arrow4 = g.independent && !cr.independent;
+    rec.cells.push_back(
+        {"G =/=> CR (flawed-pi-g/A*, uniform)",
+         obs::check(arrow4, std::string("G ") + core::verdict_str(g.independent) + ", CR " +
+                                core::verdict_str(cr.independent) +
+                                " (separation needs G PASS + CR FAIL)")});
     std::cout << "G =/=> CR   (flawed-pi-g/A*, uniform):     G "
               << core::verdict_str(g.independent) << ", CR " << core::verdict_str(cr.independent)
               << " (separation needs G PASS + CR FAIL)\n";
@@ -120,8 +159,8 @@ int main(int argc, char** argv) {
             << "]=== CR       CR <===[" << (arrow4 ? "broken-as-claimed" : "??")
             << "]=== G\n        (Singleton)                  (uniform in D(G))\n\n";
 
-  const bool reproduced = arrow1 && arrow2 && arrow3 && arrow4;
-  core::print_verdict_line("E10/figure1", reproduced,
-                           "all four arrows of Figure 1 reproduced from measurements");
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = arrow1 && arrow2 && arrow3 && arrow4;
+  rec.detail = "all four arrows of Figure 1 reproduced from measurements";
+  return core::finish_experiment(rec);
 }

@@ -29,13 +29,18 @@ constexpr std::uint64_t kSeed = 0xE11;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E11/open-problem",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E11/open-problem";
+  rec.paper_claim =
       "Section 7 (open): is there a constant-round protocol achieving CR or even Sb "
-      "independence?  Candidate: the 4-round VSS commit-reveal (gennaro)",
+      "independence?  Candidate: the 4-round VSS commit-reveal (gennaro)";
+  rec.setup =
       "gennaro, n = 4..5, adversary library sweep x {uniform, biased product}, "
-      "CR/G/Sb testers; evidence only - not a proof");
+      "CR/G/Sb testers; evidence only - not a proof";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   const auto proto = core::make_protocol("gennaro");
   static const crypto::HashCommitmentScheme scheme;
@@ -78,13 +83,22 @@ int main(int argc, char** argv) {
       spec.corrupted = row.corrupted;
       spec.adversary = row.factory;
 
-      const auto samples = testers::collect_samples(spec, *ens, 2500, kSeed);
-      const auto cr = testers::test_cr(samples, spec.corrupted);
-      const auto g = testers::test_g(samples, spec.corrupted);
+      const auto batch = testers::collect_batch(spec, *ens, 2500, kSeed);
+      sweep_report = core::merge(sweep_report, batch.report);
+      const auto cr = exec::timed_phase(
+          sweep_report.phases.evaluation,
+          [&] { return testers::test_cr(batch.samples, spec.corrupted); });
+      const auto g = exec::timed_phase(
+          sweep_report.phases.evaluation,
+          [&] { return testers::test_g(batch.samples, spec.corrupted); });
       testers::SbOptions sb_options;
       sb_options.samples = 800;
       const auto sb = testers::test_sb(spec, *ens, sb_options, kSeed + 1);
 
+      const std::string cell_label = row.adversary + " x " + ens->name();
+      rec.cells.push_back({cell_label + " CR", obs::record(cr)});
+      rec.cells.push_back({cell_label + " G", obs::record(g)});
+      rec.cells.push_back({cell_label + " Sb", obs::record(sb)});
       table.add_row({row.adversary, ens->name(), core::verdict_str(cr.independent),
                      core::verdict_str(g.independent), core::verdict_str(sb.secure),
                      core::fmt(cr.max_gap) + " / " + core::fmt(g.max_excess) + " / " +
@@ -94,12 +108,12 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render() << "\n";
   std::cout << "rounds(gennaro, n) = " << proto->rounds(64)
-            << " for every n - constant, matching [12]'s efficiency target.\n\n";
+            << " for every n - constant, matching [12]'s efficiency target.\n";
 
-  core::print_verdict_line(
-      "E11/open-problem", all_pass,
-      all_pass ? "no CR/G/Sb violation found for the constant-round candidate at "
-                 "simulation scale (evidence, not proof)"
-               : "the candidate shows a violation - see table");
-  return all_pass ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = all_pass;
+  rec.detail = all_pass ? "no CR/G/Sb violation found for the constant-round candidate at "
+                          "simulation scale (evidence, not proof)"
+                        : "the candidate shows a violation - see table";
+  return core::finish_experiment(rec);
 }

@@ -26,13 +26,17 @@ constexpr std::uint64_t kSeed = 0xE12;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E12/channel-privacy",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E12/channel-privacy";
+  rec.paper_claim =
       "model validation (Section 3.1): VSS protocols need private p2p channels; "
-      "with public channels a snooper copies a sequential dealer's bit",
+      "with public channels a snooper copies a sequential dealer's bit";
+  rec.setup =
       "cgma, n = 5, corrupted dealer 4 snoops on victim dealer 0; G** tester over "
-      "fixed inputs, 150 executions per input, private vs public channels");
+      "fixed inputs, 150 executions per input, private vs public channels";
+  rec.seed = kSeed;
+  core::print_banner(rec);
 
   const auto proto = core::make_protocol("cgma");
   const auto schedule = protocols::CgmaProtocol::schedule(5);
@@ -51,6 +55,8 @@ int main(int argc, char** argv) {
     testers::GssOptions options;
     options.samples_per_input = 150;
     const testers::GssVerdict v = testers::test_gstarstar(spec, options, kSeed);
+    rec.cells.push_back(
+        {private_channels ? "private channels G**" : "public channels G**", obs::record(v)});
     std::ostringstream worst;
     worst << "w=" << v.worst.w.to_string() << " r=" << v.worst.r.to_string()
           << " s=" << v.worst.s.to_string();
@@ -64,11 +70,10 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render() << "\n";
 
-  const bool reproduced = public_violated && private_safe;
-  core::print_verdict_line(
-      "E12/channel-privacy", reproduced,
+  rec.reproduced = public_violated && private_safe;
+  rec.detail =
       std::string("public channels: snooper copies the victim bit (gap ~ 1); private "
                   "channels: same adversary inert - the model's encrypted-link ") +
-          "abstraction is necessary, not cosmetic");
-  return reproduced ? 0 : 1;
+      "abstraction is necessary, not cosmetic";
+  return core::finish_experiment(rec);
 }

@@ -25,13 +25,18 @@ const std::vector<std::size_t> kSampleCounts = {100, 200, 400, 800, 1600, 3200, 
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E13/tester-power",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E13/tester-power";
+  rec.paper_claim =
       "(methodology) finite-sample power of the definition testers: detection "
-      "thresholds for the paper's separations, zero false positives on honest runs",
+      "thresholds for the paper's separations, zero false positives on honest runs";
+  rec.setup =
       "sample sweep 100..6400; detection targets: CR on flawed-pi-g/A* (gap 1/4), "
-      "G on naive-commit-reveal/selective-abort (gap 1)");
+      "G on naive-commit-reveal/selective-abort (gap 1)";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   // Detection curve 1: CR on the Lemma 6.4 attack.
   const auto pig = core::make_protocol("flawed-pi-g");
@@ -58,14 +63,22 @@ int main(int argc, char** argv) {
   std::size_t cr_detect_at = 0;
   std::size_t g_detect_at = 0;
   for (const std::size_t count : kSampleCounts) {
-    const auto pig_samples = testers::collect_samples(pig_spec, *uniform5, count, kSeed);
-    const auto cr = testers::test_cr(pig_samples, pig_spec.corrupted);
+    const auto pig_batch = testers::collect_batch(pig_spec, *uniform5, count, kSeed);
+    sweep_report = core::merge(sweep_report, pig_batch.report);
+    const auto cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(pig_batch.samples, pig_spec.corrupted); });
     if (!cr.independent && cr_detect_at == 0) cr_detect_at = count;
 
-    const auto ncr_samples = testers::collect_samples(ncr_spec, *uniform4, count, kSeed + 1);
-    const auto g = testers::test_g(ncr_samples, ncr_spec.corrupted);
+    const auto ncr_batch = testers::collect_batch(ncr_spec, *uniform4, count, kSeed + 1);
+    sweep_report = core::merge(sweep_report, ncr_batch.report);
+    const auto g = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_g(ncr_batch.samples, ncr_spec.corrupted); });
     if (!g.independent && g_detect_at == 0) g_detect_at = count;
 
+    rec.cells.push_back({"CR @" + std::to_string(count), obs::record(cr)});
+    rec.cells.push_back({"G @" + std::to_string(count), obs::record(g)});
     table.add_row({std::to_string(count), cr.independent ? "quiet" : "DETECTED",
                    core::fmt(cr.max_gap) + "/" + core::fmt(cr.radius),
                    g.independent ? "quiet" : "DETECTED", core::fmt(g.max_excess)});
@@ -85,9 +98,14 @@ int main(int argc, char** argv) {
     spec.params.n = 4;
     spec.corrupted = {2};
     spec.adversary = adversary::passive_factory(*proto, spec.params);
-    const auto samples = testers::collect_samples(spec, *uniform4, 6400, kSeed + 2);
-    const auto cr = testers::test_cr(samples, spec.corrupted);
-    const auto g = testers::test_g(samples, spec.corrupted);
+    const auto batch = testers::collect_batch(spec, *uniform4, 6400, kSeed + 2);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const auto cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(batch.samples, spec.corrupted); });
+    const auto g = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_g(batch.samples, spec.corrupted); });
     if (!cr.independent || !g.independent) {
       no_false_positives = false;
       std::cout << "FALSE POSITIVE on " << name << ": " << core::describe(cr) << " | "
@@ -96,14 +114,17 @@ int main(int argc, char** argv) {
   }
   if (no_false_positives)
     std::cout << "no false positives across " << core::protocol_names().size() - 1
-              << " protocols at 6400 samples\n\n";
+              << " protocols at 6400 samples\n";
+  rec.cells.push_back(
+      {"no false positives",
+       obs::check(no_false_positives, "honest/passive runs of every protocol stay quiet "
+                                      "at 6400 samples")});
 
-  const bool reproduced =
-      cr_detect_at > 0 && cr_detect_at <= 1600 && g_detect_at > 0 && g_detect_at <= 800 &&
-      no_false_positives;
-  core::print_verdict_line(
-      "E13/tester-power", reproduced,
-      "CR detects the 1/4-gap at " + std::to_string(cr_detect_at) + " samples, G detects the "
-          "unit gap at " + std::to_string(g_detect_at) + " samples; zero false positives");
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = cr_detect_at > 0 && cr_detect_at <= 1600 && g_detect_at > 0 &&
+                   g_detect_at <= 800 && no_false_positives;
+  rec.detail = "CR detects the 1/4-gap at " + std::to_string(cr_detect_at) +
+               " samples, G detects the unit gap at " + std::to_string(g_detect_at) +
+               " samples; zero false positives";
+  return core::finish_experiment(rec);
 }

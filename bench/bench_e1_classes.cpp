@@ -31,12 +31,16 @@ struct Entry {
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E1/classes", "Claim 5.6: Singleton, Uniform strictly inside D(G) strictly inside "
-                    "D(CR) strictly inside D(Sb) = All",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E1/classes";
+  rec.paper_claim =
+      "Claim 5.6: Singleton, Uniform strictly inside D(G) strictly inside "
+      "D(CR) strictly inside D(Sb) = All";
+  rec.setup =
       "classify 9 catalogue ensembles (n = 4..5) with exact pmfs; tau = 0.02 "
-      "(0.10 for the PRF witness whose finite-family advantage floor is 1/16)");
+      "(0.10 for the PRF witness whose finite-family advantage floor is 1/16)";
+  core::print_banner(rec);
 
   const double tau = 0.02;
   std::vector<Entry> entries;
@@ -79,7 +83,17 @@ int main(int argc, char** argv) {
   bool middle_strict = false;
   bool right_strict = false;
   for (const Entry& e : entries) {
-    const dist::ClassReport r = dist::classify(*e.ensemble, e.tau);
+    const dist::ClassReport r = exec::timed_phase(
+        rec.perf.report.phases.evaluation, [&] { return dist::classify(*e.ensemble, e.tau); });
+    const bool as_expected = r.locally_independent.member == e.expect_g &&
+                             r.computationally_independent.member == e.expect_cr;
+    rec.cells.push_back(
+        {e.label, obs::check(as_expected,
+                             std::string("in D(G)=") +
+                                 core::verdict_str(r.locally_independent.member) + " in D(CR)=" +
+                                 core::verdict_str(r.computationally_independent.member) +
+                                 " (expected " + (e.expect_g ? "G" : "-") +
+                                 (e.expect_cr ? "/CR" : "/-") + ")")});
     table.add_row({e.label, core::verdict_str(r.singleton.member),
                    core::verdict_str(r.product.member),
                    core::verdict_str(r.locally_independent.member),
@@ -106,11 +120,9 @@ int main(int argc, char** argv) {
       containment = false;
   }
 
-  const bool reproduced =
-      all_expected && left_strict && middle_strict && right_strict && containment;
-  core::print_verdict_line(
-      "E1/classes", reproduced,
-      std::string("containment D(G) subset of D(CR): ") + (containment ? "holds" : "broken") +
-          "; strictness witnesses: prf-correlated in D(CR)\\D(G), copy outside D(CR)");
-  return reproduced ? 0 : 1;
+  rec.reproduced = all_expected && left_strict && middle_strict && right_strict && containment;
+  rec.detail = std::string("containment D(G) subset of D(CR): ") +
+               (containment ? "holds" : "broken") +
+               "; strictness witnesses: prf-correlated in D(CR)\\D(G), copy outside D(CR)";
+  return core::finish_experiment(rec);
 }

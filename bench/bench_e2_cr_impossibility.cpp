@@ -25,12 +25,16 @@ constexpr std::size_t kSamples = 1500;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner("E2/cr-impossibility",
-                     "Lemma 5.2: D outside Psi_C,n implies no protocol is CR-independent "
-                     "under D",
-                     "5 protocols x {copy, even-parity} correlated ensembles, no corruption, "
-                     "n = 4, 1500 executions each; uniform ensemble as the control");
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E2/cr-impossibility";
+  rec.paper_claim =
+      "Lemma 5.2: D outside Psi_C,n implies no protocol is CR-independent under D";
+  rec.setup =
+      "5 protocols x {copy, even-parity} correlated ensembles, no corruption, "
+      "n = 4, 1500 executions each; uniform ensemble as the control";
+  rec.seed = kSeed;
+  core::print_banner(rec);
 
   const dist::NoisyCopyEnsemble copy(4, 0.0);
   const dist::EvenParityEnsemble parity(4);
@@ -55,7 +59,10 @@ int main(int argc, char** argv) {
     const auto eval = [&](const dist::InputEnsemble& ens, bool expect_violation) {
       const auto batch = testers::collect_batch(spec, ens, kSamples, kSeed);
       sweep_report = core::merge(sweep_report, batch.report);
-      const testers::CrVerdict v = testers::test_cr(batch.samples, spec.corrupted);
+      const testers::CrVerdict v = exec::timed_phase(
+          sweep_report.phases.evaluation,
+          [&] { return testers::test_cr(batch.samples, spec.corrupted); });
+      rec.cells.push_back({name + " x " + ens.name(), obs::record(v)});
       table.add_row({name, ens.name(), v.independent ? "independent" : "VIOLATED",
                      core::fmt(v.max_gap), core::fmt(v.radius),
                      "P" + std::to_string(v.worst.party) + " / " + v.worst.predicate});
@@ -67,7 +74,6 @@ int main(int argc, char** argv) {
     eval(*uniform, false);
   }
   std::cout << table.render() << "\n";
-  std::cout << core::describe(sweep_report) << "\n";
 
   // With a parallel pool requested, re-run one representative cell serially
   // and record the measured speedup next to the two batch reports (outputs
@@ -89,13 +95,11 @@ int main(int argc, char** argv) {
                            2)
               << "x\n";
   }
-  std::cout << "\n";
 
-  const bool reproduced = all_correlated_flagged && all_uniform_passed;
-  core::print_verdict_line(
-      "E2/cr-impossibility", reproduced,
-      std::string("every protocol violates CR under both non-Psi_C ensembles: ") +
-          (all_correlated_flagged ? "yes" : "NO") +
-          "; uniform control passes everywhere: " + (all_uniform_passed ? "yes" : "NO"));
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = all_correlated_flagged && all_uniform_passed;
+  rec.detail = std::string("every protocol violates CR under both non-Psi_C ensembles: ") +
+               (all_correlated_flagged ? "yes" : "NO") +
+               "; uniform control passes everywhere: " + (all_uniform_passed ? "yes" : "NO");
+  return core::finish_experiment(rec);
 }

@@ -24,18 +24,23 @@ constexpr std::size_t kSamples = 3000;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E3/g-impossibility",
-      "Lemma 5.4: D outside Psi_L,n implies no protocol is G-independent under D",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E3/g-impossibility";
+  rec.paper_claim =
+      "Lemma 5.4: D outside Psi_L,n implies no protocol is G-independent under D";
+  rec.setup =
       "5 protocols x {copy, noisy-copy eps=.1, prf-correlated} ensembles, corrupted "
       "party = the correlated coordinate (n-1) behaving honestly, n = 4..5, 3000 "
-      "executions each; uniform as the control");
+      "executions each; uniform as the control";
+  rec.seed = kSeed;
+  core::print_banner(rec);
 
   core::Table table(
       {"protocol", "ensemble", "G verdict", "max excess", "worst gap", "conditionings"});
   bool all_correlated_flagged = true;
   bool all_uniform_passed = true;
+  exec::BatchReport sweep_report;
 
   for (const std::string& name : core::protocol_names()) {
     // seq-broadcast-ds is the substrate-cost variant of seq-broadcast; its
@@ -50,8 +55,12 @@ int main(int argc, char** argv) {
       spec.params.n = ens.bits();
       spec.corrupted = {ens.bits() - 1};  // the correlated coordinate
       spec.adversary = adversary::passive_factory(*proto, spec.params);
-      const auto samples = testers::collect_samples(spec, ens, kSamples, kSeed);
-      const testers::GVerdict v = testers::test_g(samples, spec.corrupted);
+      const auto batch = testers::collect_batch(spec, ens, kSamples, kSeed);
+      sweep_report = core::merge(sweep_report, batch.report);
+      const testers::GVerdict v = exec::timed_phase(
+          sweep_report.phases.evaluation,
+          [&] { return testers::test_g(batch.samples, spec.corrupted); });
+      rec.cells.push_back({name + " x " + ens.name(), obs::record(v)});
       table.add_row({name, ens.name(), v.independent ? "independent" : "VIOLATED",
                      core::fmt(v.max_excess), core::fmt(v.worst.gap),
                      std::to_string(v.pairs_tested)});
@@ -66,11 +75,11 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render() << "\n";
 
-  const bool reproduced = all_correlated_flagged && all_uniform_passed;
-  core::print_verdict_line(
-      "E3/g-impossibility", reproduced,
+  rec.perf.report = sweep_report;
+  rec.reproduced = all_correlated_flagged && all_uniform_passed;
+  rec.detail =
       std::string("every protocol violates G under all three non-Psi_L ensembles: ") +
-          (all_correlated_flagged ? "yes" : "NO") +
-          "; uniform control passes everywhere: " + (all_uniform_passed ? "yes" : "NO"));
-  return reproduced ? 0 : 1;
+      (all_correlated_flagged ? "yes" : "NO") +
+      "; uniform control passes everywhere: " + (all_uniform_passed ? "yes" : "NO");
+  return core::finish_experiment(rec);
 }

@@ -36,32 +36,40 @@ struct Row {
 };
 
 Row evaluate(const sim::ParallelBroadcastProtocol& proto, const dist::InputEnsemble& ens,
-             std::uint64_t seed) {
+             std::uint64_t seed, exec::BatchReport& sweep) {
   testers::RunSpec spec;
   spec.protocol = &proto;
   spec.params.n = ens.bits();
   spec.corrupted = {1, 3};
   spec.adversary = adversary::parity_factory();
-  const auto samples = testers::collect_samples(spec, ens, kSamples, seed);
+  const auto batch = testers::collect_batch(spec, ens, kSamples, seed);
+  sweep = core::merge(sweep, batch.report);
   Row row;
   row.label = ens.name();
-  for (const auto& s : samples)
+  for (const auto& s : batch.samples)
     if (s.announced.parity()) row.parity_always_zero = false;
-  row.cr = testers::test_cr(samples, spec.corrupted);
-  row.g = testers::test_g(samples, spec.corrupted);
+  row.cr = exec::timed_phase(sweep.phases.evaluation,
+                             [&] { return testers::test_cr(batch.samples, spec.corrupted); });
+  row.g = exec::timed_phase(sweep.phases.evaluation,
+                            [&] { return testers::test_g(batch.samples, spec.corrupted); });
   return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E4/separation-g-cr",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E4/separation-g-cr";
+  rec.paper_claim =
       "Lemma 6.4: Pi_G is (D(G), G)-independent but not CR-independent for any "
-      "non-trivial distribution (incl. uniform); Claim 6.6: A* forces XOR(W) = 0",
+      "non-trivial distribution (incl. uniform); Claim 6.6: A* forces XOR(W) = 0";
+  rec.setup =
       "flawed-pi-g, n = 5, adversary A* corrupting {1, 3}, 4000 executions per "
-      "ensemble; ensembles: uniform, product(.7), near-uniform noisy-copy");
+      "ensemble; ensembles: uniform, product(.7), near-uniform noisy-copy";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   const auto proto = core::make_protocol("flawed-pi-g");
 
@@ -75,7 +83,11 @@ int main(int argc, char** argv) {
                      "CR max gap", "CR worst predicate"});
   bool ok = true;
   for (const auto& ens : ensembles) {
-    const Row row = evaluate(*proto, *ens, kSeed);
+    const Row row = evaluate(*proto, *ens, kSeed, sweep_report);
+    rec.cells.push_back(
+        {row.label + " parity", obs::check(row.parity_always_zero, "XOR(W) = 0 always")});
+    rec.cells.push_back({row.label + " G", obs::record(row.g)});
+    rec.cells.push_back({row.label + " CR", obs::record(row.cr)});
     table.add_row({row.label, row.parity_always_zero ? "yes" : "NO",
                    row.g.independent ? "independent" : "VIOLATED", core::fmt(row.g.max_excess),
                    row.cr.independent ? "independent" : "VIOLATED", core::fmt(row.cr.max_gap),
@@ -86,10 +98,14 @@ int main(int argc, char** argv) {
 
   // Quantitative check on uniform: the CR gap at the parity predicate is
   // p(1-p) = 1/4.
-  const Row uniform_row = evaluate(*proto, *ensembles[0], kSeed + 1);
+  const Row uniform_row = evaluate(*proto, *ensembles[0], kSeed + 1, sweep_report);
   const bool gap_quarter = std::abs(uniform_row.cr.max_gap - 0.25) < 0.05;
   std::cout << "uniform CR gap = " << core::fmt(uniform_row.cr.max_gap)
             << " (paper: p(1-p) = 0.25 for the parity predicate)\n";
+  rec.cells.push_back(
+      {"uniform CR gap ~ 1/4",
+       obs::check(gap_quarter, "measured gap " + core::fmt(uniform_row.cr.max_gap) +
+                                   " vs paper p(1-p) = 0.25")});
 
   // Fixed-input side (Definition B.2).
   testers::RunSpec gss_spec;
@@ -101,6 +117,7 @@ int main(int argc, char** argv) {
   gss_options.samples_per_input = 250;
   const testers::GssVerdict gss = testers::test_gstarstar(gss_spec, gss_options, kSeed + 2);
   std::cout << core::describe(gss) << "\n";
+  rec.cells.push_back({"uniform G**", obs::record(gss)});
 
   // Backend ablation: swap the ideal Θ for the real honest-majority MPC
   // (protocols/theta_mpc.h).  The verdicts must be invariant - evidence for
@@ -112,13 +129,18 @@ int main(int argc, char** argv) {
   mpc_spec.params.n = 5;
   mpc_spec.corrupted = {1, 3};
   mpc_spec.adversary = adversary::theta_mpc_parity_factory(*mpc_typed, mpc_spec.params);
-  const auto mpc_samples =
-      testers::collect_samples(mpc_spec, *ensembles[0], kSamples / 2, kSeed + 9);
+  const auto mpc_batch =
+      testers::collect_batch(mpc_spec, *ensembles[0], kSamples / 2, kSeed + 9);
+  sweep_report = core::merge(sweep_report, mpc_batch.report);
   bool mpc_parity_zero = true;
-  for (const auto& s : mpc_samples)
+  for (const auto& s : mpc_batch.samples)
     if (s.announced.parity()) mpc_parity_zero = false;
-  const testers::GVerdict mpc_g = testers::test_g(mpc_samples, mpc_spec.corrupted);
-  const testers::CrVerdict mpc_cr = testers::test_cr(mpc_samples, mpc_spec.corrupted);
+  const testers::GVerdict mpc_g = exec::timed_phase(
+      sweep_report.phases.evaluation,
+      [&] { return testers::test_g(mpc_batch.samples, mpc_spec.corrupted); });
+  const testers::CrVerdict mpc_cr = exec::timed_phase(
+      sweep_report.phases.evaluation,
+      [&] { return testers::test_cr(mpc_batch.samples, mpc_spec.corrupted); });
   core::Table ablation({"theta backend", "XOR(W)=0 always", "G verdict", "CR verdict",
                         "CR max gap"});
   ablation.add_row({"ideal functionality", uniform_row.parity_always_zero ? "yes" : "NO",
@@ -132,23 +154,30 @@ int main(int argc, char** argv) {
   std::cout << "theta-backend ablation (uniform inputs):\n" << ablation.render() << "\n";
   const bool ablation_ok = mpc_parity_zero && mpc_g.independent && !mpc_cr.independent &&
                            std::abs(mpc_cr.max_gap - uniform_row.cr.max_gap) < 0.05;
+  rec.cells.push_back({"theta-mpc ablation G", obs::record(mpc_g)});
+  rec.cells.push_back({"theta-mpc ablation CR", obs::record(mpc_cr)});
+  rec.cells.push_back(
+      {"theta-mpc ablation invariant",
+       obs::check(ablation_ok, "verdicts and CR gap match the ideal-functionality backend")});
 
   // Honest control: without A*, Pi_G is a clean simultaneous broadcast.
   testers::RunSpec honest_spec;
   honest_spec.protocol = proto.get();
   honest_spec.params.n = 5;
   honest_spec.adversary = adversary::silent_factory();
-  const auto honest_samples =
-      testers::collect_samples(honest_spec, *ensembles[0], kSamples, kSeed + 3);
-  const testers::CrVerdict honest_cr = testers::test_cr(honest_samples, {});
-  std::cout << "honest control: " << core::describe(honest_cr) << "\n\n";
+  const auto honest_batch =
+      testers::collect_batch(honest_spec, *ensembles[0], kSamples, kSeed + 3);
+  sweep_report = core::merge(sweep_report, honest_batch.report);
+  const testers::CrVerdict honest_cr = exec::timed_phase(
+      sweep_report.phases.evaluation, [&] { return testers::test_cr(honest_batch.samples, {}); });
+  std::cout << "honest control: " << core::describe(honest_cr) << "\n";
+  rec.cells.push_back({"honest control CR", obs::record(honest_cr)});
 
-  const bool reproduced =
-      ok && gap_quarter && gss.independent && honest_cr.independent && ablation_ok;
-  core::print_verdict_line(
-      "E4/separation-g-cr", reproduced,
+  rec.perf.report = sweep_report;
+  rec.reproduced = ok && gap_quarter && gss.independent && honest_cr.independent && ablation_ok;
+  rec.detail =
       "G passes / G** passes / CR fails with parity gap " + core::fmt(uniform_row.cr.max_gap) +
-          " ~ 0.25 on uniform; XOR(W) = 0 in all " + std::to_string(3 * kSamples) +
-          " attacked executions");
-  return reproduced ? 0 : 1;
+      " ~ 0.25 on uniform; XOR(W) = 0 in all " + std::to_string(3 * kSamples) +
+      " attacked executions";
+  return core::finish_experiment(rec);
 }

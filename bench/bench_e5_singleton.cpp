@@ -26,12 +26,16 @@ constexpr std::uint64_t kSeed = 0xE5;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E5/singleton",
-      "Prop. 6.3: Singleton is trivial for CR but not trivial for Sb",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E5/singleton";
+  rec.paper_claim = "Prop. 6.3: Singleton is trivial for CR but not trivial for Sb";
+  rec.setup =
       "seq-broadcast, n = 4, copy adversary (P3 copies honest P0), sweeping all 16 "
-      "singleton input distributions; 400 executions per singleton");
+      "singleton input distributions; 400 executions per singleton";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   const auto proto = core::make_protocol("seq-broadcast");
   testers::RunSpec spec;
@@ -48,13 +52,18 @@ int main(int argc, char** argv) {
 
   for (std::uint64_t bits = 0; bits < 16; ++bits) {
     const dist::SingletonEnsemble ens(BitVec(4, bits));
-    const auto samples = testers::collect_samples(spec, ens, 400, kSeed + bits);
-    const testers::CrVerdict cr = testers::test_cr(samples, spec.corrupted);
+    const auto batch = testers::collect_batch(spec, ens, 400, kSeed + bits);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const testers::CrVerdict cr = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_cr(batch.samples, spec.corrupted); });
 
     testers::SbOptions sb_options;
     sb_options.samples = 400;
     const testers::SbVerdict sb = testers::test_sb(spec, ens, sb_options, kSeed + bits);
 
+    rec.cells.push_back({BitVec(4, bits).to_string() + " CR", obs::record(cr)});
+    rec.cells.push_back({BitVec(4, bits).to_string() + " Sb", obs::record(sb)});
     table.add_row({BitVec(4, bits).to_string(), cr.independent ? "independent" : "VIOLATED",
                    core::fmt(cr.max_gap), sb.secure ? "simulatable" : "VIOLATED",
                    core::fmt(sb.max_distinguisher_gap), sb.worst.distinguisher});
@@ -64,11 +73,10 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render() << "\n";
 
-  const bool reproduced = cr_trivial && sb_fails_somewhere;
-  core::print_verdict_line(
-      "E5/singleton", reproduced,
-      std::string("CR vacuous on all 16 singletons: ") + (cr_trivial ? "yes" : "NO") +
-          "; Sb class-simulation broken (worst distinguisher advantage " +
-          core::fmt(worst_sb_gap) + ")");
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = cr_trivial && sb_fails_somewhere;
+  rec.detail = std::string("CR vacuous on all 16 singletons: ") + (cr_trivial ? "yes" : "NO") +
+               "; Sb class-simulation broken (worst distinguisher advantage " +
+               core::fmt(worst_sb_gap) + ")";
+  return core::finish_experiment(rec);
 }

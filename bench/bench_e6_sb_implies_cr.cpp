@@ -24,13 +24,18 @@ constexpr std::uint64_t kSeed = 0xE6;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E6/sb-implies-cr",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E6/sb-implies-cr";
+  rec.paper_claim =
       "Lemma 6.1: a protocol Sb-independent on all of D(CR) is CR-independent on all "
-      "of D(CR)",
+      "of D(CR)";
+  rec.setup =
       "grid of 4 product distributions x 4 protocols x passive/silent adversaries, "
-      "n = 4, one corruption; 1200 executions per cell");
+      "n = 4, one corruption; 1200 executions per cell";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   std::vector<std::shared_ptr<dist::InputEnsemble>> grid;
   grid.push_back(dist::make_uniform(4));
@@ -62,13 +67,21 @@ int main(int argc, char** argv) {
         sb_options.samples = 600;
         const testers::SbVerdict sb = testers::test_sb(spec, *grid[gi], sb_options, kSeed + gi);
         sb_all = sb_all && sb.secure;
-        const auto samples = testers::collect_samples(spec, *grid[gi], 1200, kSeed + 100 + gi);
-        const testers::CrVerdict cr = testers::test_cr(samples, spec.corrupted);
+        const auto batch = testers::collect_batch(spec, *grid[gi], 1200, kSeed + 100 + gi);
+        sweep_report = core::merge(sweep_report, batch.report);
+        const testers::CrVerdict cr = exec::timed_phase(
+            sweep_report.phases.evaluation,
+            [&] { return testers::test_cr(batch.samples, spec.corrupted); });
         cr_all = cr_all && cr.independent;
       }
       // Lemma 6.1 only forbids (Sb pass, CR fail).
       const bool consistent = !(sb_all && !cr_all);
       implication_holds = implication_holds && consistent;
+      rec.cells.push_back(
+          {name + " x " + adv_name,
+           obs::check(consistent, std::string("Sb on grid ") + (sb_all ? "PASS" : "FAIL") +
+                                      ", CR on grid " + (cr_all ? "PASS" : "FAIL") +
+                                      " - no (Sb pass, CR fail) cell")});
       table.add_row({name, adv_name, sb_all ? "PASS" : "FAIL", cr_all ? "PASS" : "FAIL",
                      consistent ? "yes" : "NO"});
     }
@@ -84,21 +97,25 @@ int main(int argc, char** argv) {
   spec.corrupted = {3};
   spec.adversary = adversary::copy_last_factory(0);
   const auto uniform = dist::make_uniform(4);
-  const auto samples = testers::collect_samples(spec, *uniform, 2000, kSeed + 7);
-  const testers::CrVerdict cr = testers::test_cr(samples, spec.corrupted);
+  const auto batch = testers::collect_batch(spec, *uniform, 2000, kSeed + 7);
+  sweep_report = core::merge(sweep_report, batch.report);
+  const testers::CrVerdict cr = exec::timed_phase(
+      sweep_report.phases.evaluation,
+      [&] { return testers::test_cr(batch.samples, spec.corrupted); });
   testers::SbOptions sb_options;
   sb_options.samples = 1000;
   const testers::SbVerdict sb = testers::test_sb(spec, *uniform, sb_options, kSeed + 8);
   std::cout << "A.1 construction on seq-broadcast + copy (uniform):\n  "
-            << core::describe(cr) << "\n  " << core::describe(sb) << "\n\n";
+            << core::describe(cr) << "\n  " << core::describe(sb) << "\n";
   const bool contrapositive = !cr.independent && !sb.secure;
+  rec.cells.push_back({"A.1 construction CR", obs::record(cr)});
+  rec.cells.push_back({"A.1 construction Sb", obs::record(sb)});
 
-  const bool reproduced = implication_holds && contrapositive;
-  core::print_verdict_line("E6/sb-implies-cr", reproduced,
-                           std::string("no (Sb pass, CR fail) cell observed: ") +
-                               (implication_holds ? "yes" : "NO") +
-                               "; CR attack transforms into Sb distinguisher (gaps " +
-                               core::fmt(cr.max_gap) + " / " + core::fmt(sb.max_distinguisher_gap) +
-                               ")");
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = implication_holds && contrapositive;
+  rec.detail = std::string("no (Sb pass, CR fail) cell observed: ") +
+               (implication_holds ? "yes" : "NO") +
+               "; CR attack transforms into Sb distinguisher (gaps " + core::fmt(cr.max_gap) +
+               " / " + core::fmt(sb.max_distinguisher_gap) + ")";
+  return core::finish_experiment(rec);
 }

@@ -25,13 +25,18 @@ constexpr std::uint64_t kSeed = 0xE7;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E7/cr-implies-g",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E7/cr-implies-g";
+  rec.paper_claim =
       "Lemma 6.2: a protocol CR-independent on all of D(G) is G-independent on all of "
-      "D(G); proof constructs D' with CR gap = p(1-p) * G** gap",
+      "D(G); proof constructs D' with CR gap = p(1-p) * G** gap";
+  rec.setup =
       "grid of locally independent distributions x 4 protocols (one corruption, "
-      "passive); then the A.2 pinned distribution on seq-broadcast + copy");
+      "passive); then the A.2 pinned distribution on seq-broadcast + copy";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   std::vector<std::shared_ptr<dist::InputEnsemble>> grid;
   grid.push_back(dist::make_uniform(4));
@@ -51,12 +56,20 @@ int main(int argc, char** argv) {
     bool cr_all = true;
     bool g_all = true;
     for (std::size_t gi = 0; gi < grid.size(); ++gi) {
-      const auto samples = testers::collect_samples(spec, *grid[gi], 2500, kSeed + gi);
-      cr_all = cr_all && testers::test_cr(samples, spec.corrupted).independent;
-      g_all = g_all && testers::test_g(samples, spec.corrupted).independent;
+      const auto batch = testers::collect_batch(spec, *grid[gi], 2500, kSeed + gi);
+      sweep_report = core::merge(sweep_report, batch.report);
+      exec::timed_phase(sweep_report.phases.evaluation, [&] {
+        cr_all = cr_all && testers::test_cr(batch.samples, spec.corrupted).independent;
+        g_all = g_all && testers::test_g(batch.samples, spec.corrupted).independent;
+        return 0;
+      });
     }
     const bool consistent = !(cr_all && !g_all);
     implication_holds = implication_holds && consistent;
+    rec.cells.push_back(
+        {name, obs::check(consistent, std::string("CR on grid ") + (cr_all ? "PASS" : "FAIL") +
+                                          ", G on grid " + (g_all ? "PASS" : "FAIL") +
+                                          " - no (CR pass, G fail) cell")});
     table.add_row(
         {name, cr_all ? "PASS" : "FAIL", g_all ? "PASS" : "FAIL", consistent ? "yes" : "NO"});
   }
@@ -80,20 +93,28 @@ int main(int argc, char** argv) {
 
   const double p_ell = 0.3;
   const dist::PinnedCoordinateEnsemble d_prime(4, 0, p_ell, BitVec::from_string("110"));
-  const auto samples = testers::collect_samples(spec, d_prime, 4000, kSeed + 51);
-  const testers::CrVerdict cr = testers::test_cr(samples, spec.corrupted);
+  const auto batch = testers::collect_batch(spec, d_prime, 4000, kSeed + 51);
+  sweep_report = core::merge(sweep_report, batch.report);
+  const testers::CrVerdict cr = exec::timed_phase(
+      sweep_report.phases.evaluation,
+      [&] { return testers::test_cr(batch.samples, spec.corrupted); });
   const double predicted = p_ell * (1.0 - p_ell) * gss.max_gap;
   std::cout << "CR on D' (pinned, p = " << p_ell << "): " << core::describe(cr) << "\n"
-            << "predicted CR gap = p(1-p) * G** gap = " << core::fmt(predicted) << "\n\n";
+            << "predicted CR gap = p(1-p) * G** gap = " << core::fmt(predicted) << "\n";
 
   const bool construction_matches =
       !gss.independent && !cr.independent && std::abs(cr.max_gap - predicted) < 0.05;
+  rec.cells.push_back({"A.2 G** on seq-broadcast + copy", obs::record(gss)});
+  rec.cells.push_back({"A.2 CR on D'", obs::record(cr)});
+  rec.cells.push_back({"A.2 gap prediction",
+                       obs::check(construction_matches,
+                                  "measured CR gap " + core::fmt(cr.max_gap) +
+                                      " vs predicted p(1-p) * G** gap " + core::fmt(predicted))});
 
-  const bool reproduced = implication_holds && construction_matches;
-  core::print_verdict_line(
-      "E7/cr-implies-g", reproduced,
-      std::string("no (CR pass, G fail) cell observed: ") + (implication_holds ? "yes" : "NO") +
-          "; A.2 construction: measured CR gap " + core::fmt(cr.max_gap) + " vs predicted " +
-          core::fmt(predicted));
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = implication_holds && construction_matches;
+  rec.detail = std::string("no (CR pass, G fail) cell observed: ") +
+               (implication_holds ? "yes" : "NO") + "; A.2 construction: measured CR gap " +
+               core::fmt(cr.max_gap) + " vs predicted " + core::fmt(predicted);
+  return core::finish_experiment(rec);
 }

@@ -27,7 +27,7 @@ using testers::RunSpec;
 
 /// The G* statistic: sweep all fixed inputs, compare each against the
 /// zeroed-honest-input hybrid.
-double gstar_gap(const RunSpec& spec, std::uint64_t seed) {
+double gstar_gap(const RunSpec& spec, std::uint64_t seed, exec::BatchReport& sweep) {
   const std::size_t n = spec.params.n;
   const auto honest = testers::honest_indices(n, spec.corrupted);
   stats::Rng master(seed);
@@ -36,14 +36,16 @@ double gstar_gap(const RunSpec& spec, std::uint64_t seed) {
     const BitVec x(n, x_bits);
     BitVec zeroed = x;
     for (std::size_t j : honest) zeroed.set(j, false);
-    const auto real = testers::collect_samples_fixed(spec, x, kPerInput, master.fork("r", x_bits)());
+    const auto real = testers::collect_batch_fixed(spec, x, kPerInput, master.fork("r", x_bits)());
     const auto hybrid =
-        testers::collect_samples_fixed(spec, zeroed, kPerInput, master.fork("h", x_bits)());
+        testers::collect_batch_fixed(spec, zeroed, kPerInput, master.fork("h", x_bits)());
+    sweep = core::merge(core::merge(sweep, real.report), hybrid.report);
+    const exec::ScopedPhase timer(sweep.phases.evaluation);
     for (std::size_t c : spec.corrupted) {
       double p_real = 0.0;
       double p_hybrid = 0.0;
-      for (const auto& s : real) p_real += s.announced.get(c) ? 1.0 : 0.0;
-      for (const auto& s : hybrid) p_hybrid += s.announced.get(c) ? 1.0 : 0.0;
+      for (const auto& s : real.samples) p_real += s.announced.get(c) ? 1.0 : 0.0;
+      for (const auto& s : hybrid.samples) p_hybrid += s.announced.get(c) ? 1.0 : 0.0;
       max_gap = std::max(max_gap,
                          std::abs(p_real - p_hybrid) / static_cast<double>(kPerInput));
     }
@@ -54,12 +56,17 @@ double gstar_gap(const RunSpec& spec, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS
-  core::print_banner(
-      "E8/gstar",
-      "Prop. B.3: G* and G** are equivalent; Prop. B.4: G** implies G on Psi_L,n",
+  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  obs::ExperimentRecord rec;
+  rec.id = "E8/gstar";
+  rec.paper_claim =
+      "Prop. B.3: G* and G** are equivalent; Prop. B.4: G** implies G on Psi_L,n";
+  rec.setup =
       "grid of (protocol, adversary) pairs, n = 4..5, fixed-input sweeps with 200 "
-      "executions per input, G on uniform with 4000 executions");
+      "executions per input, G on uniform with 4000 executions";
+  rec.seed = kSeed;
+  core::print_banner(rec);
+  exec::BatchReport sweep_report;
 
   struct Cell {
     std::string protocol;
@@ -106,7 +113,7 @@ int main(int argc, char** argv) {
   bool b4_all = true;
   for (std::size_t ci = 0; ci < cells.size(); ++ci) {
     const Cell& cell = cells[ci];
-    const double gs = gstar_gap(cell.spec, kSeed + ci);
+    const double gs = gstar_gap(cell.spec, kSeed + ci, sweep_report);
     const bool gstar_pass = gs <= kThreshold;
 
     testers::GssOptions gss_options;
@@ -114,13 +121,24 @@ int main(int argc, char** argv) {
     const testers::GssVerdict gss = testers::test_gstarstar(cell.spec, gss_options, kSeed + 40 + ci);
 
     const auto uniform = dist::make_uniform(cell.spec.params.n);
-    const auto samples = testers::collect_samples(cell.spec, *uniform, 4000, kSeed + 80 + ci);
-    const testers::GVerdict g = testers::test_g(samples, cell.spec.corrupted);
+    const auto batch = testers::collect_batch(cell.spec, *uniform, 4000, kSeed + 80 + ci);
+    sweep_report = core::merge(sweep_report, batch.report);
+    const testers::GVerdict g = exec::timed_phase(
+        sweep_report.phases.evaluation,
+        [&] { return testers::test_g(batch.samples, cell.spec.corrupted); });
 
     const bool b3 = gstar_pass == gss.independent;
     const bool b4 = !(gss.independent && !g.independent);
     b3_all = b3_all && b3;
     b4_all = b4_all && b4;
+    const std::string row_label = cell.protocol + " x " + cell.adversary;
+    rec.cells.push_back({row_label + " G**", obs::record(gss)});
+    rec.cells.push_back({row_label + " G", obs::record(g)});
+    rec.cells.push_back(
+        {row_label + " B.3/B.4",
+         obs::check(b3 && b4, std::string("G* gap ") + core::fmt(gs) + " (" +
+                                  (gstar_pass ? "PASS" : "FAIL") + "), B.3 agree " +
+                                  (b3 ? "yes" : "NO") + ", B.4 ok " + (b4 ? "yes" : "NO"))});
     table.add_row({cell.protocol, cell.adversary, core::fmt(gs),
                    gstar_pass ? "PASS" : "FAIL", core::fmt(gss.max_gap),
                    gss.independent ? "PASS" : "FAIL", g.independent ? "PASS" : "FAIL",
@@ -128,10 +146,9 @@ int main(int argc, char** argv) {
   }
   std::cout << table.render() << "\n";
 
-  const bool reproduced = b3_all && b4_all;
-  core::print_verdict_line("E8/gstar", reproduced,
-                           std::string("G*/G** verdicts agree on every row: ") +
-                               (b3_all ? "yes" : "NO") +
-                               "; no (G** pass, G fail) row: " + (b4_all ? "yes" : "NO"));
-  return reproduced ? 0 : 1;
+  rec.perf.report = sweep_report;
+  rec.reproduced = b3_all && b4_all;
+  rec.detail = std::string("G*/G** verdicts agree on every row: ") + (b3_all ? "yes" : "NO") +
+               "; no (G** pass, G fail) row: " + (b4_all ? "yes" : "NO");
+  return core::finish_experiment(rec);
 }

@@ -6,6 +6,8 @@
 // signatures.
 #include <benchmark/benchmark.h>
 
+#include "micro_report.h"
+
 #include "crypto/commitment.h"
 #include "crypto/lamport.h"
 #include "crypto/sha256.h"
@@ -117,4 +119,14 @@ BENCHMARK(BM_MerkleSignerSetup)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  simulcast::obs::ExperimentRecord rec;
+  rec.id = "micro/crypto";
+  rec.paper_claim =
+      "(methodology) building-block costs decomposing the protocol-level "
+      "measurements of E9";
+  rec.setup =
+      "google-benchmark over hashing, commitments, Shamir/VSS, sigma proofs "
+      "and hash-based signatures";
+  return simulcast::bench::run_micro(argc, argv, std::move(rec));
+}

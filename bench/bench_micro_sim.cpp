@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "adversary/adversaries.h"
+#include "micro_report.h"
 #include "core/registry.h"
 #include "sim/network.h"
 #include "testers/cr_tester.h"
@@ -69,4 +70,12 @@ BENCHMARK(BM_SampleCollection);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  simulcast::obs::ExperimentRecord rec;
+  rec.id = "micro/sim";
+  rec.paper_claim =
+      "(methodology) wall-clock cost of one execution per protocol and per n, "
+      "plus tester throughput";
+  rec.setup = "google-benchmark over sim::run_execution and the CR tester";
+  return simulcast::bench::run_micro(argc, argv, std::move(rec));
+}

@@ -24,7 +24,7 @@ int main() {
             << "  announced : " << result.announced.to_string() << "\n"
             << "  consistent: " << (result.consistent ? "yes" : "no")
             << ", correct: " << (result.correct ? "yes" : "no") << ", rounds: " << result.rounds
-            << ", messages: " << result.messages << "\n\n";
+            << ", messages: " << result.messages() << "\n\n";
 
   // --- 2. Why "parallel" is not "simultaneous". ---------------------------
   // Party 4 is corrupted and copies party 0's announcement.  Sequential

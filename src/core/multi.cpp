@@ -50,7 +50,7 @@ ValueBroadcastResult ValueBroadcast::run_with_adversary(
     result.consistent = result.consistent && session_result.consistent;
     result.correct = result.correct && session_result.correct;
     result.total_rounds += session_result.rounds;
-    result.total_messages += session_result.messages;
+    result.total_messages += session_result.messages();
     for (std::size_t p = 0; p < n_; ++p)
       result.announced[p] =
           (result.announced[p] << 1) | (session_result.announced.get(p) ? 1u : 0u);

@@ -40,65 +40,56 @@ std::string Table::render() const {
 }
 
 std::string fmt(double value, int precision) {
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(precision) << value;
-  return os.str();
+  return obs::fmt(value, precision);
 }
 
 std::string verdict_str(bool pass) {
   return pass ? "PASS" : "FAIL";
 }
 
-std::string describe(const testers::CrVerdict& v) {
+std::string describe(const obs::VerdictRecord& v) {
+  // The Sb notion speaks of simulatability; the other three of
+  // independence.  "check" rows are bare pass/fail statements.
   std::ostringstream os;
-  os << "CR " << (v.independent ? "independent" : "VIOLATED") << ": max gap " << fmt(v.max_gap)
-     << " (radius " << fmt(v.radius) << ") at P" << v.worst.party << " with R=["
-     << v.worst.predicate << "], Pr[Wi=0]=" << fmt(v.worst.p_wi_zero)
-     << " Pr[R]=" << fmt(v.worst.p_predicate) << " Pr[Wi=0,R]=" << fmt(v.worst.p_joint);
+  if (v.kind == "check") {
+    os << verdict_str(v.pass) << ": " << v.detail;
+    return os.str();
+  }
+  const char* ok_word = v.kind == "Sb" ? "simulatable" : "independent";
+  os << v.kind << " " << (v.pass ? ok_word : "VIOLATED") << ": " << v.detail;
   return os.str();
+}
+
+std::string describe(const testers::CrVerdict& v) {
+  return describe(obs::record(v));
 }
 
 std::string describe(const testers::GVerdict& v) {
-  std::ostringstream os;
-  os << "G " << (v.independent ? "independent" : "VIOLATED") << ": max excess "
-     << fmt(v.max_excess) << " over " << v.pairs_tested << " conditionings";
-  if (!v.independent) {
-    os << "; worst at P" << v.worst.party << " between honest vectors "
-       << v.worst.r.to_string() << " and " << v.worst.s.to_string() << " (gap "
-       << fmt(v.worst.gap) << ", radius " << fmt(v.worst.radius) << ")";
-  }
-  return os.str();
+  return describe(obs::record(v));
 }
 
 std::string describe(const testers::GssVerdict& v) {
-  std::ostringstream os;
-  os << "G** " << (v.independent ? "independent" : "VIOLATED") << ": max gap " << fmt(v.max_gap)
-     << " (radius " << fmt(v.radius) << ") over " << v.executions << " executions";
-  if (!v.independent) {
-    os << "; worst at P" << v.worst.party << " with w=" << v.worst.w.to_string() << " between r="
-       << v.worst.r.to_string() << " and s=" << v.worst.s.to_string();
-  }
-  return os.str();
+  return describe(obs::record(v));
 }
 
 std::string describe(const testers::SbVerdict& v) {
-  std::ostringstream os;
-  os << "Sb " << (v.secure ? "simulatable" : "VIOLATED") << ": max distinguisher gap "
-     << fmt(v.max_distinguisher_gap) << " (radius " << fmt(v.radius) << "), joint TV "
-     << fmt(v.tv_joint);
-  if (!v.secure)
-    os << "; worst distinguisher [" << v.worst.distinguisher << "] real=" << fmt(v.worst.p_real)
-       << " ideal=" << fmt(v.worst.p_ideal);
-  return os.str();
+  return describe(obs::record(v));
 }
 
-std::string describe(const exec::BatchReport& r) {
+std::string describe(const obs::PerfRecord& p) {
+  const exec::BatchReport& r = p.report;
   std::ostringstream os;
   os << "[exec] executions=" << r.executions << " threads=" << r.threads << " wall="
      << fmt(r.wall_seconds, 3) << "s throughput=" << fmt(r.throughput, 1)
      << " exec/s rounds=" << r.total_rounds << " messages=" << r.traffic.messages
-     << " payload=" << r.traffic.payload_bytes << "B";
+     << " payload=" << r.traffic.payload_bytes << "B phases[sample="
+     << fmt(r.phases.sampling, 3) << "s exec=" << fmt(r.phases.execution, 3)
+     << "s eval=" << fmt(r.phases.evaluation, 3) << "s]";
   return os.str();
+}
+
+std::string describe(const exec::BatchReport& r) {
+  return describe(obs::PerfRecord{r});
 }
 
 exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) {
@@ -115,6 +106,9 @@ exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) 
   out.traffic.broadcasts = a.traffic.broadcasts + b.traffic.broadcasts;
   out.traffic.payload_bytes = a.traffic.payload_bytes + b.traffic.payload_bytes;
   out.traffic.delivered_bytes = a.traffic.delivered_bytes + b.traffic.delivered_bytes;
+  out.phases.sampling = a.phases.sampling + b.phases.sampling;
+  out.phases.execution = a.phases.execution + b.phases.execution;
+  out.phases.evaluation = a.phases.evaluation + b.phases.evaluation;
   return out;
 }
 
@@ -125,10 +119,23 @@ void print_banner(const std::string& experiment_id, const std::string& paper_cla
             << "setup       : " << setup << "\n\n";
 }
 
+void print_banner(const obs::ExperimentRecord& record) {
+  print_banner(record.id, record.paper_claim, record.setup);
+}
+
 void print_verdict_line(const std::string& experiment_id, bool reproduced,
                         const std::string& detail) {
   std::cout << "[" << experiment_id << "] " << (reproduced ? "REPRODUCED" : "NOT-REPRODUCED")
             << " - " << detail << "\n";
+}
+
+int finish_experiment(const obs::ExperimentRecord& record) {
+  if (record.perf.report.executions > 0)
+    std::cout << describe(record.perf) << "\n\n";
+  print_verdict_line(record.id, record.reproduced, record.detail);
+  const std::string written = obs::emit(record);
+  if (!written.empty()) std::cout << "[obs] wrote " << written << "\n";
+  return record.reproduced ? 0 : 1;
 }
 
 }  // namespace simulcast::core

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "exec/runner.h"
+#include "obs/records.h"
+#include "obs/sink.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/gstarstar_tester.h"
@@ -35,25 +37,42 @@ class Table {
 /// Short formatters used by every experiment binary.
 [[nodiscard]] std::string fmt(double value, int precision = 4);
 [[nodiscard]] std::string verdict_str(bool pass);
+
+/// Renders a normalized verdict record ("<kind> <status>: <detail>").
+/// The tester-verdict describe() overloads below are thin wrappers over
+/// obs::record + this function, so the printed text and the emitted JSON
+/// are rendered from the same struct and can never drift.
+[[nodiscard]] std::string describe(const obs::VerdictRecord& v);
 [[nodiscard]] std::string describe(const testers::CrVerdict& v);
 [[nodiscard]] std::string describe(const testers::GVerdict& v);
 [[nodiscard]] std::string describe(const testers::GssVerdict& v);
 [[nodiscard]] std::string describe(const testers::SbVerdict& v);
 
-/// Engine accounting line: executions, pool width, wall clock, throughput
-/// and aggregate traffic of a batch (what the "[exec]" bench lines print).
+/// Engine accounting line: executions, pool width, wall clock, throughput,
+/// aggregate traffic and per-phase breakdown of a batch (what the "[exec]"
+/// bench lines print).  The BatchReport overload wraps the record one.
+[[nodiscard]] std::string describe(const obs::PerfRecord& r);
 [[nodiscard]] std::string describe(const exec::BatchReport& r);
 
 /// Sums batch reports of one sweep into a single aggregate (wall clocks
-/// add; throughput is recomputed from the sums).
+/// and phase breakdowns add; throughput is recomputed from the sums).
 [[nodiscard]] exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b);
 
 /// Experiment banner: id, paper claim, and what is being run.
 void print_banner(const std::string& experiment_id, const std::string& paper_claim,
                   const std::string& setup);
 
+/// Banner from a record's identity fields (id / paper_claim / setup).
+void print_banner(const obs::ExperimentRecord& record);
+
 /// The one-line machine-greppable verdict every harness ends with.
 void print_verdict_line(const std::string& experiment_id, bool reproduced,
                         const std::string& detail);
+
+/// The uniform bench epilogue: prints the record's [exec] accounting line
+/// (when any batch ran) and its verdict line, emits BENCH_<id>.json when a
+/// JSON sink is configured (--json= / SIMULCAST_JSON), and returns the
+/// driver's exit code (0 iff reproduced).
+int finish_experiment(const obs::ExperimentRecord& record);
 
 }  // namespace simulcast::core

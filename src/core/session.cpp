@@ -44,8 +44,7 @@ SessionResult Session::run_with_adversary(const BitVec& inputs,
   result.consistent = announced.consistent;
   result.correct = broadcast::correct_for_honest(announced, inputs, corrupted);
   result.rounds = exec.rounds;
-  result.messages = exec.traffic.messages;
-  result.payload_bytes = exec.traffic.payload_bytes;
+  result.traffic = exec.traffic;
   return result;
 }
 
@@ -89,8 +88,7 @@ SessionBatch Session::run_batch_seeded(const std::vector<BitVec>& inputs,
     // Announced view from the (possibly zeroed) sample vector is exact.
     r.correct = broadcast::correct_for_honest({s.announced, s.consistent}, inputs[i], corrupted);
     r.rounds = s.rounds;
-    r.messages = s.traffic.messages;
-    r.payload_bytes = s.traffic.payload_bytes;
+    r.traffic = s.traffic;
     out.results.push_back(std::move(r));
   }
   return out;

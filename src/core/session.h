@@ -22,8 +22,12 @@ struct SessionResult {
   bool consistent = false; ///< honest outputs agreed
   bool correct = false;    ///< honest coordinates match honest inputs
   std::size_t rounds = 0;
-  std::size_t messages = 0;
-  std::size_t payload_bytes = 0;
+  /// Full execution accounting — the same sim::TrafficStats the batch path
+  /// aggregates, so serial and batch runs of one seed report identically.
+  sim::TrafficStats traffic;
+
+  [[nodiscard]] std::size_t messages() const { return traffic.messages; }
+  [[nodiscard]] std::size_t payload_bytes() const { return traffic.payload_bytes; }
 };
 
 /// A repetition sweep's results plus the engine's batch accounting.

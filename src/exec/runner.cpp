@@ -1,5 +1,6 @@
 #include "exec/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -16,11 +17,23 @@ namespace {
 
 std::atomic<std::size_t> g_default_threads_override{0};
 
+std::string& json_path_override() {
+  static std::string path;
+  return path;
+}
+
 std::size_t env_threads() {
   const char* env = std::getenv("SIMULCAST_THREADS");
   if (env == nullptr || *env == '\0') return 1;
-  const long value = std::strtol(env, nullptr, 10);
-  return value > 0 ? static_cast<std::size_t>(value) : 1;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) {
+    // Same loud failure as --threads: silently running 4 threads for
+    // SIMULCAST_THREADS=4abc (or 1 for "abc") hides a mistyped knob.
+    std::fprintf(stderr, "error: SIMULCAST_THREADS must be a positive integer, got '%s'\n", env);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
 }
 
 Sample run_one(const RunSpec& spec, const BitVec& input, std::uint64_t exec_seed) {
@@ -52,14 +65,20 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads,
   BatchResult out;
   out.samples.resize(seeds.size());
   out.report.executions = seeds.size();
-  out.report.threads = threads < 1 ? 1 : threads;
+  // parallel_for clamps the pool to the batch size; report the worker count
+  // that actually ran, not the requested width (a 4-rep batch at
+  // --threads=16 runs 4-wide).
+  const std::size_t requested = threads < 1 ? 1 : threads;
+  out.report.threads = seeds.empty() ? 1 : std::min(requested, seeds.size());
 
-  const auto start = std::chrono::steady_clock::now();
-  parallel_for(seeds.size(), threads,
-               [&](std::size_t rep) { out.samples[rep] = run_one(spec, input_for(rep), seeds[rep]); });
-  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  {
+    const ScopedPhase timer(out.report.phases.execution);
+    parallel_for(seeds.size(), threads, [&](std::size_t rep) {
+      out.samples[rep] = run_one(spec, input_for(rep), seeds[rep]);
+    });
+  }
 
-  out.report.wall_seconds = elapsed.count();
+  out.report.wall_seconds = out.report.phases.execution;
   out.report.throughput = out.report.wall_seconds > 0.0
                               ? static_cast<double>(seeds.size()) / out.report.wall_seconds
                               : 0.0;
@@ -93,6 +112,16 @@ void set_default_threads(std::size_t threads) {
   g_default_threads_override.store(threads, std::memory_order_relaxed);
 }
 
+std::string default_json_path() {
+  if (!json_path_override().empty()) return json_path_override();
+  const char* env = std::getenv("SIMULCAST_JSON");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+void set_default_json_path(std::string path) {
+  json_path_override() = std::move(path);
+}
+
 std::size_t configure_threads(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +136,13 @@ std::size_t configure_threads(int argc, char** argv) {
         std::exit(2);
       }
       set_default_threads(static_cast<std::size_t>(value));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      const std::string path = arg.substr(7);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: --json needs a file or directory path\n");
+        std::exit(2);
+      }
+      set_default_json_path(path);
     }
   }
   return default_threads();
@@ -155,10 +191,16 @@ BatchResult Runner::run_batch(const RunSpec& spec, const dist::InputEnsemble& en
   stats::Rng input_rng = master.fork("inputs");
   std::vector<BitVec> inputs;
   inputs.reserve(count);
-  for (std::size_t rep = 0; rep < count; ++rep) inputs.push_back(ensemble.sample(input_rng));
-  return run_prepared(spec, threads_,
-                      [&inputs](std::size_t rep) -> const BitVec& { return inputs[rep]; },
-                      fork_seeds(seed, "exec", count));
+  double sampling_seconds = 0.0;
+  {
+    const ScopedPhase timer(sampling_seconds);
+    for (std::size_t rep = 0; rep < count; ++rep) inputs.push_back(ensemble.sample(input_rng));
+  }
+  BatchResult out = run_prepared(spec, threads_,
+                                 [&inputs](std::size_t rep) -> const BitVec& { return inputs[rep]; },
+                                 fork_seeds(seed, "exec", count));
+  out.report.phases.sampling = sampling_seconds;
+  return out;
 }
 
 BatchResult Runner::run_batch(const RunSpec& spec, const BitVec& input, std::size_t count,

@@ -25,8 +25,11 @@
 // relaxed fetch_add per repetition — noise next to a protocol execution.
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "adversary/adversaries.h"
@@ -57,16 +60,27 @@ struct Sample {
   sim::TrafficStats traffic;   ///< this execution's traffic
 };
 
+/// Per-phase wall-clock breakdown of a batch: where the time actually went.
+/// `sampling` and `execution` are stamped by the Runner; `evaluation` is
+/// accumulated by whoever runs a tester over the samples (the bench drivers
+/// wrap their tester calls in timed_phase).
+struct PhaseSeconds {
+  double sampling = 0.0;    ///< drawing inputs from the ensemble (serial)
+  double execution = 0.0;   ///< the sharded protocol-execution region
+  double evaluation = 0.0;  ///< tester evaluation over the collected samples
+};
+
 /// Per-batch accounting: aggregated traffic plus wall-clock/throughput
 /// counters for the whole batch (the substrate every scaling experiment
 /// reports against).
 struct BatchReport {
   std::size_t executions = 0;
-  std::size_t threads = 1;       ///< pool width the batch ran with
+  std::size_t threads = 1;       ///< workers that actually ran (pool clamped to batch size)
   double wall_seconds = 0.0;     ///< wall-clock time of the sharded region
   double throughput = 0.0;       ///< executions per second
   std::size_t total_rounds = 0;  ///< sum of per-execution round counts
   sim::TrafficStats traffic;     ///< sums over all executions
+  PhaseSeconds phases;           ///< per-phase wall-clock breakdown
 };
 
 struct BatchResult {
@@ -83,10 +97,48 @@ struct BatchResult {
 /// falling back to SIMULCAST_THREADS / 1).
 void set_default_threads(std::size_t threads);
 
-/// Scans argv for --threads=N, installs it as the process default when
-/// present, and returns the effective default.  The uniform knob every
-/// bench driver and example exposes.
+/// Scans argv for --threads=N and --json=PATH, installs them as the process
+/// defaults when present, and returns the effective thread default.  The
+/// uniform knobs every bench driver and example exposes.
 std::size_t configure_threads(int argc, char** argv);
+
+/// Process-wide JSON sink path: the last set_default_json_path() value if
+/// any, else the SIMULCAST_JSON environment variable, else "" (disabled).
+/// A path ending in ".json" names the output file exactly; anything else is
+/// a directory that receives one BENCH_<id>.json per experiment (obs/sink.h).
+[[nodiscard]] std::string default_json_path();
+
+/// Installs `path` as the process-wide JSON sink (empty re-enables the
+/// SIMULCAST_JSON fallback).  Not thread-safe: call from main before
+/// spawning batches, which is what configure_threads does.
+void set_default_json_path(std::string path);
+
+/// Scoped phase timer: adds the elapsed wall-clock seconds of its lifetime
+/// into `slot` on destruction (slots are the PhaseSeconds fields).
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(double& slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedPhase() {
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+    slot_ += elapsed.count();
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  double& slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Runs `body`, accumulating its wall-clock time into `slot`, and returns
+/// the body's result — the one-liner the bench drivers wrap tester calls in
+/// to attribute evaluation time: `timed_phase(report.phases.evaluation, ...)`.
+template <typename Body>
+auto timed_phase(double& slot, Body&& body) {
+  const ScopedPhase timer(slot);
+  return std::forward<Body>(body)();
+}
 
 /// Runs body(i) for every i in [0, count) on up to `threads` workers and
 /// returns once all indices completed.  If any body throws, remaining

@@ -1,0 +1,74 @@
+// Dependency-free JSON writer (obs::Json).
+//
+// The observability layer needs exactly one thing from JSON: a writer whose
+// output is always syntactically valid.  Json is a forward-only builder
+// with comma and indentation management; the scalar formatting lives in
+// static helpers so the tests can exercise the escaping and number policy
+// directly.
+//
+// Policy choices (pinned by tests/obs/obs_test.cpp):
+//   - strings are escaped per RFC 8259: quote, backslash, and control
+//     characters (\b \t \n \f \r shorthands, \u00XX for the rest);
+//   - non-finite doubles have no JSON representation and are emitted as
+//     null (consumers read null as "not measurable");
+//   - finite doubles use shortest-round-trip formatting (std::to_chars),
+//     so parsing the file back reproduces the exact bits measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simulcast::obs {
+
+class Json {
+ public:
+  /// Escapes `raw` for inclusion inside a JSON string literal (no quotes).
+  [[nodiscard]] static std::string escape(std::string_view raw);
+  /// A complete JSON string literal: quotes plus escaped payload.
+  [[nodiscard]] static std::string quote(std::string_view raw);
+  /// Shortest round-trip double literal; "null" for NaN and infinities.
+  [[nodiscard]] static std::string number(double value);
+  [[nodiscard]] static std::string number(std::uint64_t value);
+  [[nodiscard]] static std::string boolean(bool value);
+
+  // Builder.  Values inside an object must be preceded by key(); the
+  // builder inserts commas and two-space indentation.  str() returns the
+  // document once every begin has been matched by its end.
+  Json& object_begin();
+  Json& object_end();
+  Json& array_begin();
+  Json& array_end();
+  Json& key(std::string_view name);
+  Json& value(std::string_view v);
+  Json& value(const char* v) { return value(std::string_view(v)); }
+  Json& value(double v);
+  Json& value(std::uint64_t v);
+  Json& value(bool v);
+
+  /// key(name) + value(v) in one call.
+  template <typename V>
+  Json& member(std::string_view name, V&& v) {
+    key(name);
+    return value(std::forward<V>(v));
+  }
+
+  /// The rendered document.  Throws UsageError if objects/arrays are still
+  /// open — a truncated document must never reach disk.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  void begin_value();  ///< comma/indent bookkeeping shared by all values
+  void newline_indent();
+
+  std::string out_;
+  struct Level {
+    bool array = false;
+    std::size_t entries = 0;
+  };
+  std::vector<Level> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace simulcast::obs

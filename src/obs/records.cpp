@@ -1,0 +1,171 @@
+#include "obs/records.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace simulcast::obs {
+
+namespace {
+
+#ifdef NDEBUG
+constexpr const char* kBuildMode = "release";
+#else
+constexpr const char* kBuildMode = "debug";
+#endif
+
+#ifdef __VERSION__
+constexpr const char* kCompiler = __VERSION__;
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
+
+}  // namespace
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+VerdictRecord record(const testers::CrVerdict& v) {
+  VerdictRecord out;
+  out.kind = "CR";
+  out.pass = v.independent;
+  out.gap = v.max_gap;
+  out.radius = v.radius;
+  std::ostringstream os;
+  os << "max gap " << fmt(v.max_gap) << " (radius " << fmt(v.radius) << ") at P"
+     << v.worst.party << " with R=[" << v.worst.predicate << "], Pr[Wi=0]="
+     << fmt(v.worst.p_wi_zero) << " Pr[R]=" << fmt(v.worst.p_predicate)
+     << " Pr[Wi=0,R]=" << fmt(v.worst.p_joint);
+  out.detail = os.str();
+  return out;
+}
+
+VerdictRecord record(const testers::GVerdict& v) {
+  VerdictRecord out;
+  out.kind = "G";
+  out.pass = v.independent;
+  out.gap = v.max_excess;
+  out.radius = v.independent ? 0.0 : v.worst.radius;
+  std::ostringstream os;
+  os << "max excess " << fmt(v.max_excess) << " over " << v.pairs_tested << " conditionings";
+  if (!v.independent) {
+    os << "; worst at P" << v.worst.party << " between honest vectors "
+       << v.worst.r.to_string() << " and " << v.worst.s.to_string() << " (gap "
+       << fmt(v.worst.gap) << ", radius " << fmt(v.worst.radius) << ")";
+  }
+  out.detail = os.str();
+  return out;
+}
+
+VerdictRecord record(const testers::GssVerdict& v) {
+  VerdictRecord out;
+  out.kind = "G**";
+  out.pass = v.independent;
+  out.gap = v.max_gap;
+  out.radius = v.radius;
+  std::ostringstream os;
+  os << "max gap " << fmt(v.max_gap) << " (radius " << fmt(v.radius) << ") over "
+     << v.executions << " executions";
+  if (!v.independent) {
+    os << "; worst at P" << v.worst.party << " with w=" << v.worst.w.to_string()
+       << " between r=" << v.worst.r.to_string() << " and s=" << v.worst.s.to_string();
+  }
+  out.detail = os.str();
+  return out;
+}
+
+VerdictRecord record(const testers::SbVerdict& v) {
+  VerdictRecord out;
+  out.kind = "Sb";
+  out.pass = v.secure;
+  out.gap = v.max_distinguisher_gap;
+  out.radius = v.radius;
+  std::ostringstream os;
+  os << "max distinguisher gap " << fmt(v.max_distinguisher_gap) << " (radius "
+     << fmt(v.radius) << "), joint TV " << fmt(v.tv_joint);
+  if (!v.secure)
+    os << "; worst distinguisher [" << v.worst.distinguisher << "] real=" << fmt(v.worst.p_real)
+       << " ideal=" << fmt(v.worst.p_ideal);
+  out.detail = os.str();
+  return out;
+}
+
+VerdictRecord check(bool pass, std::string detail) {
+  VerdictRecord out;
+  out.kind = "check";
+  out.pass = pass;
+  out.detail = std::move(detail);
+  return out;
+}
+
+void append(Json& json, const VerdictRecord& v) {
+  json.object_begin()
+      .member("kind", v.kind)
+      .member("pass", v.pass)
+      .member("gap", v.gap)
+      .member("radius", v.radius)
+      .member("detail", v.detail)
+      .object_end();
+}
+
+void append(Json& json, const PerfRecord& p) {
+  const exec::BatchReport& r = p.report;
+  json.object_begin()
+      .member("executions", std::uint64_t{r.executions})
+      .member("threads", std::uint64_t{r.threads})
+      .member("wall_seconds", r.wall_seconds)
+      .member("throughput", r.throughput)
+      .member("total_rounds", std::uint64_t{r.total_rounds});
+  json.key("traffic")
+      .object_begin()
+      .member("messages", std::uint64_t{r.traffic.messages})
+      .member("point_to_point", std::uint64_t{r.traffic.point_to_point})
+      .member("broadcasts", std::uint64_t{r.traffic.broadcasts})
+      .member("payload_bytes", std::uint64_t{r.traffic.payload_bytes})
+      .member("delivered_bytes", std::uint64_t{r.traffic.delivered_bytes})
+      .object_end();
+  json.key("phases")
+      .object_begin()
+      .member("sampling_seconds", r.phases.sampling)
+      .member("execution_seconds", r.phases.execution)
+      .member("evaluation_seconds", r.phases.evaluation)
+      .object_end();
+  json.object_end();
+}
+
+void append(Json& json, const ExperimentRecord& r) {
+  json.object_begin()
+      .member("schema_version", kSchemaVersion)
+      .member("id", r.id)
+      .member("paper_claim", r.paper_claim)
+      .member("setup", r.setup)
+      .member("reproduced", r.reproduced)
+      .member("detail", r.detail);
+  json.key("metadata")
+      .object_begin()
+      .member("seed", r.seed)
+      .member("threads", std::uint64_t{r.perf.report.threads})
+      .member("compiler", kCompiler)
+      .member("build", kBuildMode)
+      .object_end();
+  json.key("cells").array_begin();
+  for (const ExperimentCell& cell : r.cells) {
+    json.object_begin().member("label", cell.label).key("verdict");
+    append(json, cell.verdict);
+    json.object_end();
+  }
+  json.array_end();
+  json.key("perf");
+  append(json, r.perf);
+  json.object_end();
+}
+
+std::string to_json(const ExperimentRecord& r) {
+  Json json;
+  append(json, r);
+  return json.str() + "\n";
+}
+
+}  // namespace simulcast::obs

@@ -1,0 +1,86 @@
+// Typed, machine-readable result records (schema v1).
+//
+// Every quantity a bench driver prints — the CR/G/G**/Sb verdicts, the
+// per-cell gaps and radii, the engine's BatchReport — is first captured in
+// one of these structs; the printed tables (core::describe overloads) and
+// the emitted BENCH_<id>.json (obs/sink.h) are both rendered from the same
+// record, so the human-readable and machine-readable views can never
+// drift.  The schema is versioned: consumers check "schema_version" before
+// trusting field layout, and any field change bumps kSchemaVersion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/runner.h"
+#include "obs/json.h"
+#include "testers/cr_tester.h"
+#include "testers/g_tester.h"
+#include "testers/gstarstar_tester.h"
+#include "testers/sb_tester.h"
+
+namespace simulcast::obs {
+
+/// Bump on any change to the record field layout below.
+inline constexpr std::uint64_t kSchemaVersion = 1;
+
+/// Fixed-precision decimal formatting shared by tables and detail strings
+/// (core::fmt delegates here so text and records agree digit for digit).
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// One tester verdict, normalized across the four independence notions.
+/// `kind` is "CR", "G", "G**", "Sb" — or "check" for plain boolean rows
+/// (shape checks, arrow compositions) that carry no statistic.
+struct VerdictRecord {
+  std::string kind;
+  bool pass = false;
+  double gap = 0.0;     ///< headline statistic (max gap / excess / advantage)
+  double radius = 0.0;  ///< confidence radius where the tester reports one
+  std::string detail;   ///< worst-case witness text, as printed
+};
+
+/// Conversions from the testers' verdicts.  The detail string is exactly
+/// the text core::describe prints after the "<kind> <status>: " prefix.
+[[nodiscard]] VerdictRecord record(const testers::CrVerdict& v);
+[[nodiscard]] VerdictRecord record(const testers::GVerdict& v);
+[[nodiscard]] VerdictRecord record(const testers::GssVerdict& v);
+[[nodiscard]] VerdictRecord record(const testers::SbVerdict& v);
+/// A boolean check row with no statistic attached.
+[[nodiscard]] VerdictRecord check(bool pass, std::string detail);
+
+/// Engine accounting as a record: wraps exec::BatchReport (wall clock,
+/// throughput, traffic, per-phase breakdown).
+struct PerfRecord {
+  exec::BatchReport report;
+};
+
+/// One row of an experiment: a labelled verdict (protocol x ensemble cell,
+/// sweep row, arrow of Figure 1, ...).
+struct ExperimentCell {
+  std::string label;
+  VerdictRecord verdict;
+};
+
+/// Everything one bench driver produces: identity, paper claim, setup,
+/// per-cell verdicts, the overall reproduced flag, and run metadata
+/// (seed / threads / build) so a BENCH_<id>.json is self-describing.
+struct ExperimentRecord {
+  std::string id;           ///< e.g. "E2/cr-impossibility"
+  std::string paper_claim;
+  std::string setup;
+  std::vector<ExperimentCell> cells;
+  bool reproduced = false;
+  std::string detail;       ///< the verdict line's free-text evidence
+  std::uint64_t seed = 0;   ///< master seed compiled into the driver
+  PerfRecord perf;          ///< merged engine accounting of every batch run
+};
+
+/// Serializers.  append() writes the record as the next JSON value (the
+/// caller positions the writer); to_json renders a whole document.
+void append(Json& json, const VerdictRecord& v);
+void append(Json& json, const PerfRecord& p);
+void append(Json& json, const ExperimentRecord& r);
+[[nodiscard]] std::string to_json(const ExperimentRecord& r);
+
+}  // namespace simulcast::obs

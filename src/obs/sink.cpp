@@ -1,0 +1,56 @@
+#include "obs/sink.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "base/error.h"
+
+namespace simulcast::obs {
+
+namespace {
+
+bool ends_with_json(std::string_view path) {
+  constexpr std::string_view suffix = ".json";
+  return path.size() >= suffix.size() &&
+         path.substr(path.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+std::string bench_filename(std::string_view id) {
+  std::string stem;
+  stem.reserve(id.size());
+  for (const char c : id)
+    stem += (c == '/' || std::isspace(static_cast<unsigned char>(c))) ? '_' : c;
+  return "BENCH_" + stem + ".json";
+}
+
+std::string write_record(const ExperimentRecord& record, const std::string& path) {
+  if (path.empty()) throw UsageError("obs::write_record: empty path");
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path target(path);
+  if (ends_with_json(path)) {
+    if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+  } else {
+    fs::create_directories(target, ec);
+    target /= bench_filename(record.id);
+  }
+  if (ec)
+    throw UsageError("obs::write_record: cannot create '" + path + "': " + ec.message());
+  std::ofstream out(target, std::ios::trunc);
+  out << to_json(record);
+  out.flush();
+  if (!out)
+    throw UsageError("obs::write_record: cannot write '" + target.string() + "'");
+  return target.string();
+}
+
+std::string emit(const ExperimentRecord& record) {
+  const std::string path = exec::default_json_path();
+  if (path.empty()) return {};
+  return write_record(record, path);
+}
+
+}  // namespace simulcast::obs

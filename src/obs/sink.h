@@ -1,0 +1,34 @@
+// The process-wide machine-readable results sink.
+//
+// Bench drivers call emit() once, at the end, with their finished
+// ExperimentRecord; where the JSON lands is controlled by the knobs parsed
+// in exec::configure_threads (--json=PATH next to --threads, or the
+// SIMULCAST_JSON environment variable).  A PATH ending in ".json" names
+// the output file exactly; any other PATH is treated as a directory
+// (created if missing) receiving one BENCH_<id>.json per experiment —
+// `bench_eN --json=out/` drops out/BENCH_<id>.json next to the printed
+// tables.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/records.h"
+
+namespace simulcast::obs {
+
+/// "BENCH_<id>.json" with '/' and whitespace in the id replaced by '_'
+/// (e.g. "E2/cr-impossibility" -> "BENCH_E2_cr-impossibility.json").
+[[nodiscard]] std::string bench_filename(std::string_view id);
+
+/// Writes the record under `path` (file-or-directory semantics above) and
+/// returns the full path written.  Throws UsageError when the path cannot
+/// be created or written.
+std::string write_record(const ExperimentRecord& record, const std::string& path);
+
+/// Writes the record to the configured sink.  Returns the path written, or
+/// "" when no sink is configured (the default: printing-only runs pay
+/// nothing for the observability layer).
+std::string emit(const ExperimentRecord& record);
+
+}  // namespace simulcast::obs

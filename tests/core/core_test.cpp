@@ -36,7 +36,12 @@ TEST(Session, HonestRunAnnouncesInputs) {
     EXPECT_TRUE(result.correct) << name;
     EXPECT_EQ(result.announced, inputs) << name;
     EXPECT_EQ(result.rounds, session.rounds()) << name;
-    EXPECT_GT(result.messages, 0u) << name;
+    EXPECT_GT(result.messages(), 0u) << name;
+    // Serial runs carry the full TrafficStats the batch path reports.
+    EXPECT_GE(result.traffic.messages,
+              result.traffic.point_to_point + result.traffic.broadcasts)
+        << name;
+    EXPECT_GE(result.traffic.delivered_bytes, result.traffic.payload_bytes) << name;
   }
 }
 
@@ -60,7 +65,7 @@ TEST(Session, DeterministicPerSeed) {
   const auto r1 = session.run(inputs, 11);
   const auto r2 = session.run(inputs, 11);
   EXPECT_EQ(r1.announced, r2.announced);
-  EXPECT_EQ(r1.messages, r2.messages);
+  EXPECT_EQ(r1.messages(), r2.messages());
 }
 
 TEST(Report, TableRendersAligned) {

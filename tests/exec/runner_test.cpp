@@ -86,6 +86,46 @@ TEST(Runner, BatchReportAggregatesTraffic) {
   EXPECT_GT(messages, 0u);
 }
 
+// The pool clamps to the batch size; the report must record the workers
+// that actually ran, not the requested width.
+TEST(Runner, BatchReportThreadsRecordsActualWorkers) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const auto ens = dist::make_uniform(4);
+  const auto clamped = testers::collect_batch(spec, *ens, 4, 3, 16);
+  EXPECT_EQ(clamped.report.threads, 4u);  // 16 requested, only 4 executions
+  const auto serial = testers::collect_batch(spec, *ens, 4, 3, 1);
+  EXPECT_EQ(serial.report.threads, 1u);
+}
+
+// run_batch times its phases: sampling (input drawing) and execution are
+// both nonzero for an ensemble batch, and wall_seconds is the execution
+// phase.  Evaluation stays zero until a tester harness accumulates into it.
+TEST(Runner, BatchReportCarriesPhaseBreakdown) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const auto ens = dist::make_uniform(4);
+  const auto batch = testers::collect_batch(spec, *ens, 16, 3, 2);
+  EXPECT_GT(batch.report.phases.sampling, 0.0);
+  EXPECT_GT(batch.report.phases.execution, 0.0);
+  EXPECT_DOUBLE_EQ(batch.report.phases.execution, batch.report.wall_seconds);
+  EXPECT_DOUBLE_EQ(batch.report.phases.evaluation, 0.0);
+}
+
+// Garbage in SIMULCAST_THREADS must abort loudly (exit 2), never silently
+// truncate ("4abc" -> 4) or fall back to serial ("abc" -> 1).
+TEST(EnvThreadsDeathTest, RejectsMalformedValues) {
+  set_default_threads(0);  // route default_threads() through the env lookup
+  for (const char* bad : {"4abc", "abc", "-2", "0"}) {
+    ASSERT_EQ(setenv("SIMULCAST_THREADS", bad, 1), 0);
+    EXPECT_EXIT((void)default_threads(), testing::ExitedWithCode(2), "SIMULCAST_THREADS")
+        << bad;
+  }
+  ASSERT_EQ(setenv("SIMULCAST_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_threads(), 3u);
+  ASSERT_EQ(unsetenv("SIMULCAST_THREADS"), 0);
+}
+
 /// A protocol whose machines cannot be built: exercises exception flow out
 /// of worker threads.
 class ThrowingProtocol final : public sim::ParallelBroadcastProtocol {
@@ -166,8 +206,11 @@ TEST(SessionBatch, MatchesSerialSessions) {
     EXPECT_EQ(batch.results[i].consistent, one.consistent) << i;
     EXPECT_EQ(batch.results[i].correct, one.correct) << i;
     EXPECT_EQ(batch.results[i].rounds, one.rounds) << i;
-    EXPECT_EQ(batch.results[i].messages, one.messages) << i;
-    EXPECT_EQ(batch.results[i].payload_bytes, one.payload_bytes) << i;
+    EXPECT_EQ(batch.results[i].traffic.messages, one.traffic.messages) << i;
+    EXPECT_EQ(batch.results[i].traffic.point_to_point, one.traffic.point_to_point) << i;
+    EXPECT_EQ(batch.results[i].traffic.broadcasts, one.traffic.broadcasts) << i;
+    EXPECT_EQ(batch.results[i].traffic.payload_bytes, one.traffic.payload_bytes) << i;
+    EXPECT_EQ(batch.results[i].traffic.delivered_bytes, one.traffic.delivered_bytes) << i;
   }
 }
 
