@@ -25,7 +25,7 @@ constexpr std::size_t kSamples = 1500;
 }  // namespace
 
 int main(int argc, char** argv) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  exec::configure_threads(argc, argv);  // --threads=N / --json=PATH / --trace=PATH (strict)
   obs::ExperimentRecord rec;
   rec.id = "E2/cr-impossibility";
   rec.paper_claim =

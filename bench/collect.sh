@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # Collects machine-readable results from the experiment drivers.
 #
-# Usage: collect.sh OUT_DIR [DRIVER...]
+# Usage: collect.sh [--trace] OUT_DIR [DRIVER...]
 #
 # Runs every DRIVER (default: all bench_e* binaries under $BENCH_BIN_DIR,
 # itself defaulting to build/bench) with --json=OUT_DIR, so each drops its
-# BENCH_<id>.json next to the printed tables.  Exits non-zero if any driver
-# fails, emits no JSON, or reports "reproduced": false.
+# BENCH_<id>.json next to the printed tables.  With --trace, each driver
+# also runs with --trace=OUT_DIR and the resulting TRACE_<id>.json must be
+# parseable JSON with a traceEvents array (Perfetto / chrome://tracing
+# loadable).  Exits non-zero if any driver fails, emits no JSON, reports
+# "reproduced": false, or (under --trace) writes a malformed trace.
 set -u
 
+want_trace=0
+if [ "${1:-}" = "--trace" ]; then
+  want_trace=1
+  shift
+fi
+
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 OUT_DIR [DRIVER...]" >&2
+  echo "usage: $0 [--trace] OUT_DIR [DRIVER...]" >&2
   exit 2
 fi
 
@@ -29,11 +38,25 @@ else
   fi
 fi
 
+# Trace well-formedness: full JSON parse when python3 is around, otherwise a
+# cheap shape check for the traceEvents array.
+check_trace() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$1" >/dev/null 2>&1
+  else
+    grep -q '"traceEvents": \[' "$1"
+  fi
+}
+
 failures=0
 for driver in "${drivers[@]}"; do
   name=$(basename "$driver")
   before=$(ls "$out_dir"/BENCH_*.json 2>/dev/null | sort)
-  if ! "$driver" --json="$out_dir"; then
+  args=(--json="$out_dir")
+  if [ "$want_trace" -eq 1 ]; then
+    args+=(--trace="$out_dir")
+  fi
+  if ! "$driver" "${args[@]}"; then
     echo "collect.sh: FAIL $name (driver exit $?)" >&2
     failures=$((failures + 1))
     continue
@@ -49,6 +72,14 @@ for driver in "${drivers[@]}"; do
   if [ -z "$written" ] || ! grep -q '"reproduced": true' $written; then
     echo "collect.sh: FAIL $name (no JSON with \"reproduced\": true in $out_dir)" >&2
     failures=$((failures + 1))
+    continue
+  fi
+  if [ "$want_trace" -eq 1 ]; then
+    trace=$(ls -t "$out_dir"/TRACE_*.json 2>/dev/null | head -1)
+    if [ -z "$trace" ] || ! check_trace "$trace"; then
+      echo "collect.sh: FAIL $name (no parseable TRACE_*.json in $out_dir)" >&2
+      failures=$((failures + 1))
+    fi
   fi
 done
 

@@ -38,15 +38,19 @@ class RecordingReporter : public benchmark::ConsoleReporter {
 };
 
 /// The micro-harness main: strips the simulcast CLI knobs (--threads=,
-/// --json=; already consumed by configure_threads) out of argv before
-/// google-benchmark sees them, runs the registered benchmarks, and emits the
-/// record.  Exits 0 iff at least one benchmark ran without error.
+/// --json=, --trace=; already consumed by configure_threads) out of argv
+/// before google-benchmark sees them, runs the registered benchmarks, and
+/// emits the record.  Exits 0 iff at least one benchmark ran without error.
 inline int run_micro(int argc, char** argv, obs::ExperimentRecord rec) {
-  exec::configure_threads(argc, argv);  // --threads=N / SIMULCAST_THREADS / --json=PATH
+  // Strict parse of the shared knobs; google-benchmark's own flags pass
+  // through to benchmark::Initialize below.
+  exec::configure_threads(argc, argv, {"--benchmark_"});
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (i > 0 && (arg.rfind("--threads=", 0) == 0 || arg.rfind("--json=", 0) == 0)) continue;
+    if (i > 0 && (arg.rfind("--threads=", 0) == 0 || arg.rfind("--json=", 0) == 0 ||
+                  arg.rfind("--trace=", 0) == 0))
+      continue;
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());

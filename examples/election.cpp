@@ -17,11 +17,14 @@
 //
 // The example counts how often the corrupted coordinate correlates with
 // honest voter 0's announced vote in each scenario.
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 
+#include "core/report.h"
 #include "core/session.h"
 #include "crypto/commitment.h"
+#include "exec/runner.h"
 #include "stats/rng.h"
 
 namespace {
@@ -33,6 +36,7 @@ constexpr std::size_t kElections = 1500;
 struct Tally {
   double match_rate = 0.0;   ///< Pr[corrupted announced == honest P0 announced]
   double yes_rate = 0.0;     ///< Pr[measure passes]
+  exec::BatchReport report;  ///< engine accounting of the election batch
 };
 
 Tally run_elections(const std::string& protocol, const adversary::AdversaryFactory& factory,
@@ -56,12 +60,14 @@ Tally run_elections(const std::string& protocol, const adversary::AdversaryFacto
     if (result.announced.get(6) == result.announced.get(0)) ++matches;
     if (static_cast<std::size_t>(result.announced.popcount()) * 2 > kVoters) ++passes;
   }
-  return {static_cast<double>(matches) / kElections, static_cast<double>(passes) / kElections};
+  return {static_cast<double>(matches) / kElections, static_cast<double>(passes) / kElections,
+          batch.report};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  exec::configure_threads(argc, argv);  // --threads=N / --json=PATH / --trace=PATH (strict)
   static const crypto::HashCommitmentScheme scheme;
   std::cout << std::fixed << std::setprecision(3) << "referendum with " << kVoters
             << " voters, voter 6 corrupted, " << kElections << " elections per row\n\n";
@@ -82,7 +88,28 @@ int main() {
   std::cout << "Selective abort is why commit-then-reveal without recoverability is\n"
                "not a simultaneous broadcast; the VSS-based protocols fix the vote at\n"
                "commit time (tests/protocols/vss_protocols_test.cpp,\n"
-               "RevealWithholdingCannotChangeAnnouncedValue).\n";
+               "RevealWithholdingCannotChangeAnnouncedValue).\n\n";
 
-  return (naive.match_rate > 0.95 && std::abs(fair.match_rate - 0.5) < 0.06) ? 0 : 1;
+  const bool naive_correlated = naive.match_rate > 0.95;
+  const bool fair_independent = std::abs(fair.match_rate - 0.5) < 0.06;
+
+  obs::ExperimentRecord rec;
+  rec.id = "example/election";
+  rec.paper_claim = "selective abort correlates the corrupted vote; recoverable "
+                    "commitments leave only input-independent abstention";
+  rec.setup = "referendum, 7 voters, voter 6 corrupted, 1500 elections per scenario";
+  rec.seed = 11;
+  rec.perf.report = core::merge(naive.report, fair.report);
+  rec.cells.push_back(
+      {"naive-commit-reveal correlated",
+       obs::check(naive_correlated,
+                  "match rate " + core::fmt(naive.match_rate, 3) + " > 0.95")});
+  rec.cells.push_back(
+      {"gennaro independent",
+       obs::check(fair_independent,
+                  "|match rate " + core::fmt(fair.match_rate, 3) + " - 0.5| < 0.06")});
+  rec.reproduced = naive_correlated && fair_independent;
+  rec.detail = "naive match " + core::fmt(naive.match_rate, 3) + ", gennaro match " +
+               core::fmt(fair.match_rate, 3);
+  return core::finish_experiment(rec);
 }

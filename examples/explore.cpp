@@ -12,10 +12,14 @@
 //                 product:<p0,p1,...>
 //   options       --n=<parties=5> --corrupt=<i,j,...> --samples=<N=2000>
 //                 --seed=<s=1> --threads=<T=SIMULCAST_THREADS or 1>
+//                 --json=<PATH> --trace=<PATH>
 //
 // --threads (or the SIMULCAST_THREADS environment variable) shards the
 // sample collection across a thread pool; results are bit-identical for
 // every thread count (see DESIGN.md, "exec engine seeding contract").
+// --json / --trace route the run through the same core::finish_experiment
+// epilogue as the bench drivers: BENCH_explore_*.json records and
+// Perfetto-loadable TRACE_explore_*.json traces land under PATH.
 //
 // Examples:
 //   explore flawed-pi-g parity uniform --corrupt=1,3
@@ -27,6 +31,7 @@
 #include "core/registry.h"
 #include "core/report.h"
 #include "exec/runner.h"
+#include "obs/trace.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/sb_tester.h"
@@ -38,7 +43,8 @@ using namespace simulcast;
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: explore <protocol> <adversary> <distribution> "
-               "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1]\n"
+               "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1] "
+               "[--json=PATH] [--trace=PATH]\n"
                "run 'explore list' to enumerate the registered protocols.\n";
   std::exit(2);
 }
@@ -98,6 +104,10 @@ int main(int argc, char** argv) {
       seed = std::stoull(arg.substr(7));
     else if (arg.rfind("--threads=", 0) == 0)
       exec::set_default_threads(std::stoul(arg.substr(10)));
+    else if (arg.rfind("--json=", 0) == 0)
+      exec::set_default_json_path(arg.substr(7));
+    else if (arg.rfind("--trace=", 0) == 0)
+      obs::set_default_trace_path(arg.substr(8));
     else
       usage("unknown option '" + arg + "'");
   }
@@ -127,28 +137,50 @@ int main(int argc, char** argv) {
     else
       usage("unknown adversary '" + adversary_name + "'");
 
-    std::cout << "running " << protocol_name << " x " << adversary_name << " x "
-              << ensemble->name() << "  (n=" << n << ", corrupt={";
+    std::ostringstream setup;
+    setup << protocol_name << " x " << adversary_name << " x " << ensemble->name() << "  (n="
+          << n << ", corrupt={";
     for (std::size_t i = 0; i < corrupted.size(); ++i)
-      std::cout << (i ? "," : "") << corrupted[i];
-    std::cout << "}, " << samples << " executions, seed " << seed << ")\n\n";
+      setup << (i ? "," : "") << corrupted[i];
+    setup << "}, " << samples << " executions, seed " << seed << ")";
+    std::cout << "running " << setup.str() << "\n\n";
+
+    obs::ExperimentRecord rec;
+    rec.id = "explore/" + protocol_name + "-" + adversary_name + "-" + dist_spec;
+    rec.paper_claim = "exploration run: no pinned claim, verdicts are observations";
+    rec.setup = setup.str();
+    rec.seed = seed;
 
     const auto batch = testers::collect_batch(spec, *ensemble, samples, seed);
     const auto& sample_set = batch.samples;
-    std::cout << core::describe(batch.report) << "\n";
-    std::cout << "consistency rate: " << core::fmt(testers::consistency_rate(sample_set))
-              << "\n";
+    rec.perf.report = batch.report;
+    const double consistency = testers::consistency_rate(sample_set);
+    std::cout << "consistency rate: " << core::fmt(consistency) << "\n";
+    rec.cells.push_back({"consistency",
+                         obs::check(true, "rate " + core::fmt(consistency))});
     const auto cr = testers::test_cr(sample_set, spec.corrupted);
     std::cout << core::describe(cr) << "\n";
+    rec.cells.push_back({"CR", obs::record(cr)});
     if (!spec.corrupted.empty()) {
       const auto g = testers::test_g(sample_set, spec.corrupted);
       std::cout << core::describe(g) << "\n";
+      rec.cells.push_back({"G", obs::record(g)});
     }
     testers::SbOptions sb_options;
     sb_options.samples = std::min<std::size_t>(samples, 800);
     const auto sb = testers::test_sb(spec, *ensemble, sb_options, seed + 1);
     std::cout << core::describe(sb) << "\n";
-    return 0;
+    rec.cells.push_back({"Sb", obs::record(sb)});
+    std::cout << "\n";
+
+    // Exploration has no expected outcome, so the run "reproduces" iff it
+    // completed; the per-cell verdicts carry the observations.
+    rec.reproduced = true;
+    std::ostringstream detail;
+    detail << rec.cells.size() << " verdict cells observed, consistency "
+           << core::fmt(consistency);
+    rec.detail = detail.str();
+    return core::finish_experiment(rec);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

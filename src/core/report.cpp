@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "base/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simulcast::core {
 
@@ -92,6 +94,27 @@ std::string describe(const exec::BatchReport& r) {
   return describe(obs::PerfRecord{r});
 }
 
+std::string describe(const obs::MetricsSnapshot& m) {
+  std::ostringstream os;
+  bool first_line = true;
+  const auto newline = [&] {
+    if (!first_line) os << "\n";
+    first_line = false;
+  };
+  if (!m.counters.empty()) {
+    newline();
+    os << "[metrics]";
+    for (const obs::CounterSnapshot& c : m.counters) os << " " << c.name << "=" << c.value;
+  }
+  for (const obs::HistogramSnapshot& h : m.histograms) {
+    newline();
+    os << "[metrics] " << h.name << ": count=" << h.count << " mean=" << fmt(h.mean(), 1)
+       << " range=[" << h.lo << "," << h.hi << ") underflow=" << h.underflow
+       << " overflow=" << h.overflow;
+  }
+  return os.str();
+}
+
 exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) {
   exec::BatchReport out;
   out.executions = a.executions + b.executions;
@@ -130,12 +153,19 @@ void print_verdict_line(const std::string& experiment_id, bool reproduced,
 }
 
 int finish_experiment(const obs::ExperimentRecord& record) {
-  if (record.perf.report.executions > 0)
-    std::cout << describe(record.perf) << "\n\n";
-  print_verdict_line(record.id, record.reproduced, record.detail);
-  const std::string written = obs::emit(record);
+  obs::trace_instant("finish_experiment");
+  obs::ExperimentRecord full = record;
+  if (full.metrics.empty()) full.metrics = obs::Metrics::global().snapshot();
+  if (full.perf.report.executions > 0)
+    std::cout << describe(full.perf) << "\n";
+  if (!full.metrics.empty()) std::cout << describe(full.metrics) << "\n";
+  if (full.perf.report.executions > 0 || !full.metrics.empty()) std::cout << "\n";
+  print_verdict_line(full.id, full.reproduced, full.detail);
+  const std::string written = obs::emit(full);
   if (!written.empty()) std::cout << "[obs] wrote " << written << "\n";
-  return record.reproduced ? 0 : 1;
+  const std::string trace_written = obs::write_trace(full.id);
+  if (!trace_written.empty()) std::cout << "[obs] wrote " << trace_written << "\n";
+  return full.reproduced ? 0 : 1;
 }
 
 }  // namespace simulcast::core

@@ -54,6 +54,11 @@ class Table {
 [[nodiscard]] std::string describe(const obs::PerfRecord& r);
 [[nodiscard]] std::string describe(const exec::BatchReport& r);
 
+/// Metrics registry lines ("[metrics] ..."): one line for the counters,
+/// one per histogram (count / mean / tails).  Rendered from the same
+/// snapshot the JSON serializes, like every other describe().
+[[nodiscard]] std::string describe(const obs::MetricsSnapshot& m);
+
 /// Sums batch reports of one sweep into a single aggregate (wall clocks
 /// and phase breakdowns add; throughput is recomputed from the sums).
 [[nodiscard]] exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b);
@@ -70,9 +75,12 @@ void print_verdict_line(const std::string& experiment_id, bool reproduced,
                         const std::string& detail);
 
 /// The uniform bench epilogue: prints the record's [exec] accounting line
-/// (when any batch ran) and its verdict line, emits BENCH_<id>.json when a
-/// JSON sink is configured (--json= / SIMULCAST_JSON), and returns the
-/// driver's exit code (0 iff reproduced).
+/// (when any batch ran), its [metrics] registry lines, and its verdict
+/// line; fills record.metrics from obs::Metrics::global() when the driver
+/// left it empty; emits BENCH_<id>.json when a JSON sink is configured
+/// (--json= / SIMULCAST_JSON) and TRACE_<id>.json when a trace sink is
+/// (--trace= / SIMULCAST_TRACE); returns the driver's exit code (0 iff
+/// reproduced).
 int finish_experiment(const obs::ExperimentRecord& record);
 
 }  // namespace simulcast::core

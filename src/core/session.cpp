@@ -2,6 +2,7 @@
 
 #include "broadcast/parallel_broadcast.h"
 #include "core/registry.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 
 namespace simulcast::core {
@@ -30,6 +31,10 @@ SessionResult Session::run_with_adversary(const BitVec& inputs,
                                           const std::vector<sim::PartyId>& corrupted,
                                           const adversary::AdversaryFactory& adversary,
                                           std::uint64_t seed) const {
+  // The serial single-execution path; batch sweeps get their "rep" spans
+  // from the engine instead.
+  obs::TraceSpan span("session");
+  span.arg("n", params_.n);
   sim::ExecutionConfig config;
   config.seed = seed;
   config.corrupted = corrupted;

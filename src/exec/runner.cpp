@@ -10,6 +10,8 @@
 
 #include "base/error.h"
 #include "broadcast/parallel_broadcast.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simulcast::exec {
 
@@ -58,6 +60,23 @@ Sample run_one(const RunSpec& spec, const BitVec& input, std::uint64_t exec_seed
   return s;
 }
 
+/// The engine's registry feeds.  Registered once (function-local statics),
+/// recorded per repetition from whatever worker ran it — the histograms
+/// ISSUE'd as rounds-per-execution and repetition latency, plus the
+/// execution counters.
+void record_repetition_metrics(const Sample& s, std::uint64_t elapsed_us) {
+  static obs::Counter& executions = obs::Metrics::global().counter("exec.executions");
+  static obs::Counter& inconsistent = obs::Metrics::global().counter("exec.inconsistent");
+  static obs::Histogram& rounds =
+      obs::Metrics::global().histogram("exec.rounds_per_execution", 0, 64, 64);
+  static obs::Histogram& latency =
+      obs::Metrics::global().histogram("exec.repetition_us", 0, 20000, 40);
+  executions.add(1);
+  if (!s.consistent) inconsistent.add(1);
+  rounds.record(s.rounds);
+  latency.record(elapsed_us);
+}
+
 /// Shards the prepared repetitions, fills the slots, and accounts the batch.
 BatchResult run_prepared(const RunSpec& spec, std::size_t threads,
                          const std::function<const BitVec&(std::size_t)>& input_for,
@@ -72,9 +91,18 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads,
   out.report.threads = seeds.empty() ? 1 : std::min(requested, seeds.size());
 
   {
-    const ScopedPhase timer(out.report.phases.execution);
+    const ScopedPhase timer(out.report.phases.execution, "execution");
     parallel_for(seeds.size(), threads, [&](std::size_t rep) {
+      obs::TraceSpan span("rep");
+      span.arg("rep", rep);
+      const auto start = std::chrono::steady_clock::now();
       out.samples[rep] = run_one(spec, input_for(rep), seeds[rep]);
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      record_repetition_metrics(
+          out.samples[rep],
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+      span.arg("rounds", out.samples[rep].rounds);
     });
   }
 
@@ -122,7 +150,8 @@ void set_default_json_path(std::string path) {
   json_path_override() = std::move(path);
 }
 
-std::size_t configure_threads(int argc, char** argv) {
+std::size_t configure_threads(int argc, char** argv,
+                              std::initializer_list<std::string_view> pass_through) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
@@ -143,6 +172,26 @@ std::size_t configure_threads(int argc, char** argv) {
         std::exit(2);
       }
       set_default_json_path(path);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      const std::string path = arg.substr(8);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: --trace needs a file or directory path\n");
+        std::exit(2);
+      }
+      obs::set_default_trace_path(path);
+    } else {
+      bool passed = false;
+      for (const std::string_view prefix : pass_through)
+        passed = passed || arg.rfind(prefix, 0) == 0;
+      if (!passed) {
+        // Strict by design: a silently ignored "--thread=4" runs the whole
+        // experiment serially while the user believes otherwise.
+        std::fprintf(stderr,
+                     "error: unrecognized argument '%s'\n"
+                     "usage: %s [--threads=N] [--json=PATH] [--trace=PATH]\n",
+                     arg.c_str(), argc > 0 ? argv[0] : "driver");
+        std::exit(2);
+      }
     }
   }
   return default_threads();
@@ -164,6 +213,9 @@ void parallel_for(std::size_t count, std::size_t threads,
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
+      // Lane w+1 for every pool's worker w (the main thread is lane 0), so
+      // repeated batches merge into stable per-worker trace lanes.
+      obs::set_thread_lane(static_cast<std::uint32_t>(w + 1));
       try {
         while (!failed.load(std::memory_order_relaxed)) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -193,7 +245,7 @@ BatchResult Runner::run_batch(const RunSpec& spec, const dist::InputEnsemble& en
   inputs.reserve(count);
   double sampling_seconds = 0.0;
   {
-    const ScopedPhase timer(sampling_seconds);
+    const ScopedPhase timer(sampling_seconds, "sampling");
     for (std::size_t rep = 0; rep < count; ++rep) inputs.push_back(ensemble.sample(input_rng));
   }
   BatchResult out = run_prepared(spec, threads_,

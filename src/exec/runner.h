@@ -27,6 +27,7 @@
 
 #include <chrono>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -34,6 +35,7 @@
 
 #include "adversary/adversaries.h"
 #include "dist/ensembles.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "stats/rng.h"
 
@@ -97,10 +99,15 @@ struct BatchResult {
 /// falling back to SIMULCAST_THREADS / 1).
 void set_default_threads(std::size_t threads);
 
-/// Scans argv for --threads=N and --json=PATH, installs them as the process
-/// defaults when present, and returns the effective thread default.  The
-/// uniform knobs every bench driver and example exposes.
-std::size_t configure_threads(int argc, char** argv);
+/// Scans argv for the uniform knobs every bench driver and example exposes
+/// — --threads=N, --json=PATH, --trace=PATH — installs them as the process
+/// defaults when present, and returns the effective thread default.
+/// Parsing is strict: any other argument exits 2 with a usage line (a
+/// silently ignored flag hides a mistyped knob), except arguments matching
+/// one of the `pass_through` prefixes, which are left for the caller's own
+/// parser (the micro benches pass {"--benchmark_"}).
+std::size_t configure_threads(int argc, char** argv,
+                              std::initializer_list<std::string_view> pass_through = {});
 
 /// Process-wide JSON sink path: the last set_default_json_path() value if
 /// any, else the SIMULCAST_JSON environment variable, else "" (disabled).
@@ -114,11 +121,13 @@ std::size_t configure_threads(int argc, char** argv);
 void set_default_json_path(std::string path);
 
 /// Scoped phase timer: adds the elapsed wall-clock seconds of its lifetime
-/// into `slot` on destruction (slots are the PhaseSeconds fields).
+/// into `slot` on destruction (slots are the PhaseSeconds fields).  A
+/// non-null `trace_name` additionally records the lifetime as a trace span
+/// when tracing is on (obs/trace.h).
 class ScopedPhase {
  public:
-  explicit ScopedPhase(double& slot)
-      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedPhase(double& slot, const char* trace_name = nullptr)
+      : slot_(slot), span_(trace_name), start_(std::chrono::steady_clock::now()) {}
   ~ScopedPhase() {
     const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
     slot_ += elapsed.count();
@@ -128,15 +137,18 @@ class ScopedPhase {
 
  private:
   double& slot_;
+  obs::TraceSpan span_;
   std::chrono::steady_clock::time_point start_;
 };
 
 /// Runs `body`, accumulating its wall-clock time into `slot`, and returns
 /// the body's result — the one-liner the bench drivers wrap tester calls in
 /// to attribute evaluation time: `timed_phase(report.phases.evaluation, ...)`.
+/// The default trace name matches that use; pass another name (or nullptr)
+/// when timing a different phase.
 template <typename Body>
-auto timed_phase(double& slot, Body&& body) {
-  const ScopedPhase timer(slot);
+auto timed_phase(double& slot, Body&& body, const char* trace_name = "evaluation") {
+  const ScopedPhase timer(slot, trace_name);
   return std::forward<Body>(body)();
 }
 

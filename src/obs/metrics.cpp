@@ -1,0 +1,127 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "base/error.h"
+
+namespace simulcast::obs {
+
+Histogram::Histogram(std::uint64_t lo, std::uint64_t hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), buckets_(bucket_count) {
+  if (hi <= lo) throw UsageError("obs::Histogram: hi must exceed lo");
+  if (bucket_count == 0) throw UsageError("obs::Histogram: need at least one bucket");
+}
+
+void Histogram::record(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  if (value < lo_) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (value >= hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Index by proportion of the range so non-divisible ranges still map
+  // every in-range value to exactly one bucket.  Tracked quantities are
+  // far below 2^32, so the product cannot overflow.
+  const std::size_t index =
+      static_cast<std::size_t>((value - lo_) * buckets_.size() / (hi_ - lo_));
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  if (i >= buckets_.size()) throw UsageError("obs::Histogram::bucket: index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::mean() const {
+  return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+struct Metrics::Impl {
+  mutable std::mutex mutex;
+  // node-based maps: references handed out stay valid across registration.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Metrics::Impl& Metrics::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Metrics& Metrics::global() {
+  static Metrics instance;
+  return instance;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.counters.find(name);
+  if (it != state.counters.end()) return *it->second;
+  return *state.counters.emplace(std::string(name), std::make_unique<Counter>()).first->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name, std::uint64_t lo, std::uint64_t hi,
+                              std::size_t bucket_count) {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  const auto it = state.histograms.find(name);
+  if (it != state.histograms.end()) {
+    Histogram& existing = *it->second;
+    if (existing.lo() != lo || existing.hi() != hi || existing.bucket_count() != bucket_count)
+      throw UsageError("obs::Metrics: histogram '" + std::string(name) +
+                       "' re-registered with different bucket layout");
+    return existing;
+  }
+  return *state.histograms
+              .emplace(std::string(name), std::make_unique<Histogram>(lo, hi, bucket_count))
+              .first->second;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  MetricsSnapshot out;
+  out.counters.reserve(state.counters.size());
+  for (const auto& [name, counter] : state.counters)
+    out.counters.push_back({name, counter->value()});
+  out.histograms.reserve(state.histograms.size());
+  for (const auto& [name, histogram] : state.histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.lo = histogram->lo();
+    h.hi = histogram->hi();
+    h.buckets.reserve(histogram->bucket_count());
+    for (std::size_t i = 0; i < histogram->bucket_count(); ++i)
+      h.buckets.push_back(histogram->bucket(i));
+    h.underflow = histogram->underflow();
+    h.overflow = histogram->overflow();
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  Impl& state = impl();
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  for (const auto& [name, counter] : state.counters) counter->reset();
+  for (const auto& [name, histogram] : state.histograms) histogram->reset();
+}
+
+}  // namespace simulcast::obs

@@ -1,0 +1,125 @@
+// Process-wide metrics registry (obs::Metrics): named counters and
+// fixed-bucket histograms the engine, the simulator and the protocols feed
+// while a batch runs.
+//
+// Recording is lock-free (relaxed atomic adds), so worker threads update
+// metrics without synchronizing; registration and snapshotting take a
+// mutex but happen outside the hot path (a caller registers once, keeps
+// the reference — function-local statics are the intended idiom — and the
+// snapshot runs at experiment end).  Values are std::uint64_t: every
+// tracked quantity (rounds, bytes, microseconds) is a small nonnegative
+// integer, and integer sums stay exact.
+//
+// Like tracing, metrics only observe: no RNG, seed or sample value is
+// touched, so outputs are bit-identical whether or not anyone reads the
+// registry (DESIGN.md section 8).  The deterministic metrics (rounds,
+// traffic) are also identical across thread counts; only the latency
+// histograms vary run to run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simulcast::obs {
+
+/// A monotonically increasing named value.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A histogram over [lo, hi) with `bucket_count` equal-width buckets plus
+/// explicit underflow (< lo) and overflow (>= hi) tails, so no recorded
+/// value is ever silently discarded.
+class Histogram {
+ public:
+  Histogram(std::uint64_t lo, std::uint64_t hi, std::size_t bucket_count);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value);
+  void reset();
+
+  [[nodiscard]] std::uint64_t lo() const { return lo_; }
+  [[nodiscard]] std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// sum/count; 0 for an empty histogram.
+  [[nodiscard]] double mean() const;
+};
+
+/// A point-in-time copy of every registered metric, sorted by name (so the
+/// serialized form is deterministic given deterministic values).
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const { return counters.empty() && histograms.empty(); }
+};
+
+/// The registry.  counter()/histogram() return stable references: register
+/// once (a function-local static), record forever.
+class Metrics {
+ public:
+  static Metrics& global();
+
+  /// Finds or creates the named counter.
+  Counter& counter(std::string_view name);
+
+  /// Finds or creates the named histogram.  Re-registering with different
+  /// bounds throws UsageError: two call sites disagreeing on the bucket
+  /// layout would corrupt each other's data.
+  Histogram& histogram(std::string_view name, std::uint64_t lo, std::uint64_t hi,
+                       std::size_t bucket_count);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every value, keeping registrations (existing references stay
+  /// valid) — the per-test / per-experiment reset.
+  void reset();
+
+ private:
+  Metrics() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace simulcast::obs

@@ -135,6 +135,29 @@ void append(Json& json, const PerfRecord& p) {
   json.object_end();
 }
 
+void append(Json& json, const MetricsSnapshot& m) {
+  json.object_begin();
+  json.key("counters").object_begin();
+  for (const CounterSnapshot& c : m.counters) json.member(c.name, c.value);
+  json.object_end();
+  json.key("histograms").object_begin();
+  for (const HistogramSnapshot& h : m.histograms) {
+    json.key(h.name)
+        .object_begin()
+        .member("lo", h.lo)
+        .member("hi", h.hi)
+        .member("count", h.count)
+        .member("sum", h.sum)
+        .member("underflow", h.underflow)
+        .member("overflow", h.overflow);
+    json.key("buckets").array_begin();
+    for (const std::uint64_t b : h.buckets) json.value(b);
+    json.array_end().object_end();
+  }
+  json.object_end();
+  json.object_end();
+}
+
 void append(Json& json, const ExperimentRecord& r) {
   json.object_begin()
       .member("schema_version", kSchemaVersion)
@@ -159,6 +182,8 @@ void append(Json& json, const ExperimentRecord& r) {
   json.array_end();
   json.key("perf");
   append(json, r.perf);
+  json.key("metrics");
+  append(json, r.metrics);
   json.object_end();
 }
 

@@ -15,6 +15,7 @@
 
 #include "exec/runner.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
 #include "testers/gstarstar_tester.h"
@@ -23,7 +24,9 @@
 namespace simulcast::obs {
 
 /// Bump on any change to the record field layout below.
-inline constexpr std::uint64_t kSchemaVersion = 1;
+/// v2: added the "metrics" object (counters + fixed-bucket histograms from
+/// the process-wide obs::Metrics registry).
+inline constexpr std::uint64_t kSchemaVersion = 2;
 
 /// Fixed-precision decimal formatting shared by tables and detail strings
 /// (core::fmt delegates here so text and records agree digit for digit).
@@ -74,12 +77,16 @@ struct ExperimentRecord {
   std::string detail;       ///< the verdict line's free-text evidence
   std::uint64_t seed = 0;   ///< master seed compiled into the driver
   PerfRecord perf;          ///< merged engine accounting of every batch run
+  /// Registry snapshot (schema v2).  Left empty by drivers:
+  /// core::finish_experiment fills it from obs::Metrics::global().
+  MetricsSnapshot metrics;
 };
 
 /// Serializers.  append() writes the record as the next JSON value (the
 /// caller positions the writer); to_json renders a whole document.
 void append(Json& json, const VerdictRecord& v);
 void append(Json& json, const PerfRecord& p);
+void append(Json& json, const MetricsSnapshot& m);
 void append(Json& json, const ExperimentRecord& r);
 [[nodiscard]] std::string to_json(const ExperimentRecord& r);
 

@@ -1,10 +1,10 @@
 #include "obs/sink.h"
 
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 
 #include "base/error.h"
+#include "obs/trace.h"
 
 namespace simulcast::obs {
 
@@ -19,11 +19,9 @@ bool ends_with_json(std::string_view path) {
 }  // namespace
 
 std::string bench_filename(std::string_view id) {
-  std::string stem;
-  stem.reserve(id.size());
-  for (const char c : id)
-    stem += (c == '/' || std::isspace(static_cast<unsigned char>(c))) ? '_' : c;
-  return "BENCH_" + stem + ".json";
+  // experiment_stem throws UsageError on an empty or all-separator id: two
+  // such ids would silently collide on "BENCH_.json".
+  return "BENCH_" + experiment_stem(id) + ".json";
 }
 
 std::string write_record(const ExperimentRecord& record, const std::string& path) {

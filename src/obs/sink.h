@@ -19,6 +19,8 @@ namespace simulcast::obs {
 
 /// "BENCH_<id>.json" with '/' and whitespace in the id replaced by '_'
 /// (e.g. "E2/cr-impossibility" -> "BENCH_E2_cr-impossibility.json").
+/// Throws UsageError when the id is empty or all separators — such ids
+/// would silently collide on one "BENCH_.json" file.
 [[nodiscard]] std::string bench_filename(std::string_view id);
 
 /// Writes the record under `path` (file-or-directory semantics above) and

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace simulcast::sim {
 
@@ -10,6 +12,18 @@ namespace {
 
 bool is_corrupted(const std::vector<PartyId>& corrupted, PartyId id) {
   return std::find(corrupted.begin(), corrupted.end(), id) != corrupted.end();
+}
+
+/// Per-round registry feeds (bytes-per-round / messages-per-round).  Like
+/// tracing, these only observe counters the scheduler already maintains —
+/// no seed or sample value is touched (DESIGN.md section 8).
+void record_round_metrics(std::size_t messages, std::size_t payload_bytes) {
+  static obs::Histogram& bytes =
+      obs::Metrics::global().histogram("sim.bytes_per_round", 0, 4096, 64);
+  static obs::Histogram& msgs =
+      obs::Metrics::global().histogram("sim.messages_per_round", 0, 256, 64);
+  bytes.record(payload_bytes);
+  msgs.record(messages);
 }
 
 }  // namespace
@@ -142,6 +156,9 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   };
 
   for (Round round = 0; round < total_rounds; ++round) {
+    obs::TraceSpan round_span("round");
+    round_span.arg("round", round);
+    const TrafficStats traffic_before = result.traffic;
     std::vector<Message> sent_this_round;
 
     // 1+2. Honest parties act on their deliveries.
@@ -193,6 +210,14 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     }
 
     account(sent_this_round);
+    const std::size_t round_messages = result.traffic.messages - traffic_before.messages;
+    const std::size_t round_bytes = result.traffic.payload_bytes - traffic_before.payload_bytes;
+    record_round_metrics(round_messages, round_bytes);
+    round_span.arg("messages", round_messages);
+    round_span.arg("bytes", round_bytes);
+    if (obs::trace_enabled())
+      obs::trace_instant("round-traffic",
+                         {{"round", round}, {"messages", round_messages}, {"bytes", round_bytes}});
     if (config.record_trace) result.trace[round] = sent_this_round;
     in_flight = std::move(sent_this_round);
   }

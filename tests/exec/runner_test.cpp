@@ -2,13 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 
 #include "base/error.h"
 #include "core/registry.h"
 #include "core/session.h"
 #include "crypto/commitment.h"
+#include "obs/metrics.h"
+#include "obs/records.h"
+#include "obs/trace.h"
 #include "testers/monte_carlo.h"
 
 namespace simulcast::exec {
@@ -110,6 +115,66 @@ TEST(Runner, BatchReportCarriesPhaseBreakdown) {
   EXPECT_GT(batch.report.phases.execution, 0.0);
   EXPECT_DOUBLE_EQ(batch.report.phases.execution, batch.report.wall_seconds);
   EXPECT_DOUBLE_EQ(batch.report.phases.evaluation, 0.0);
+}
+
+/// The record a driver would emit, stripped of wall-clock noise: timing
+/// fields zeroed and latency histograms (named *_us) dropped, leaving only
+/// the quantities the determinism contract pins.
+obs::ExperimentRecord canonical_record(const BatchReport& report) {
+  obs::ExperimentRecord rec;
+  rec.id = "test/trace-determinism";
+  rec.reproduced = true;
+  rec.perf.report = report;
+  rec.perf.report.threads = 1;  // the pool width is allowed to differ
+  rec.perf.report.wall_seconds = 0.0;
+  rec.perf.report.throughput = 0.0;
+  rec.perf.report.phases = {};
+  rec.metrics = obs::Metrics::global().snapshot();
+  auto& hists = rec.metrics.histograms;
+  hists.erase(std::remove_if(hists.begin(), hists.end(),
+                             [](const obs::HistogramSnapshot& h) {
+                               return h.name.size() >= 3 &&
+                                      h.name.compare(h.name.size() - 3, 3, "_us") == 0;
+                             }),
+              hists.end());
+  return rec;
+}
+
+// The observability determinism contract (DESIGN.md section 8): tracing
+// only observes, so the sample vector AND the canonicalized record JSON
+// are byte-identical with tracing on or off, at every thread count.  Under
+// the sanitize label this also runs the trace buffers through TSan.
+TEST(Runner, TracingNeverPerturbsSamplesOrRecords) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const auto ens = dist::make_uniform(4);
+  constexpr std::size_t kReps = 24;
+
+  ASSERT_EQ(unsetenv("SIMULCAST_TRACE"), 0);
+  obs::set_default_trace_path("");
+  obs::clear_trace();
+  ASSERT_FALSE(obs::trace_enabled());
+  obs::Metrics::global().reset();
+  const auto baseline = testers::collect_batch(spec, *ens, kReps, 7, 1);
+  const std::string baseline_json = obs::to_json(canonical_record(baseline.report));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::set_default_trace_path("trace-on");  // flips the flag; nothing is written
+    obs::clear_trace();
+    ASSERT_TRUE(obs::trace_enabled());
+    obs::Metrics::global().reset();
+    const auto traced = testers::collect_batch(spec, *ens, kReps, 7, threads);
+    const std::string traced_json = obs::to_json(canonical_record(traced.report));
+    const std::vector<obs::TraceEvent> events = obs::drain_trace();
+    obs::set_default_trace_path("");
+
+    EXPECT_FALSE(events.empty()) << "traced run must actually record spans";
+    ASSERT_EQ(baseline.samples.size(), traced.samples.size()) << threads;
+    for (std::size_t i = 0; i < baseline.samples.size(); ++i)
+      EXPECT_TRUE(same_sample(baseline.samples[i], traced.samples[i]))
+          << "threads " << threads << " rep " << i;
+    EXPECT_EQ(baseline_json, traced_json) << "threads " << threads;
+  }
 }
 
 // Garbage in SIMULCAST_THREADS must abort loudly (exit 2), never silently

@@ -104,7 +104,7 @@ TEST(Json, BuilderRejectsMalformedDocuments) {
 ExperimentRecord golden_record() {
   ExperimentRecord rec;
   rec.id = "E0/golden";
-  rec.paper_claim = "schema fixture: field layout of record schema v1";
+  rec.paper_claim = "schema fixture: field layout of record schema v2";
   rec.setup = "hand-built record with \"quotes\", back\\slash and tab\there";
   rec.reproduced = true;
   rec.detail = "2 cells, 1 statistic + 1 check";
@@ -138,6 +138,19 @@ ExperimentRecord golden_record() {
   rec.perf.report.phases.sampling = 0.125;
   rec.perf.report.phases.execution = 0.25;
   rec.perf.report.phases.evaluation = 0.0625;
+
+  // Hand-built registry snapshot (schema v2): 32 executions of 3 rounds
+  // each, matching the perf block above.
+  rec.metrics.counters.push_back({"exec.executions", 32});
+  rec.metrics.counters.push_back({"exec.inconsistent", 0});
+  HistogramSnapshot rounds;
+  rounds.name = "exec.rounds_per_execution";
+  rounds.lo = 0;
+  rounds.hi = 8;
+  rounds.buckets = {0, 0, 0, 32, 0, 0, 0, 0};
+  rounds.count = 32;
+  rounds.sum = 96;
+  rec.metrics.histograms.push_back(rounds);
   return rec;
 }
 
@@ -247,6 +260,24 @@ TEST(Sink, BenchFilenameSanitizesId) {
   EXPECT_EQ(bench_filename("E2/cr-impossibility"), "BENCH_E2_cr-impossibility.json");
   EXPECT_EQ(bench_filename("micro/crypto"), "BENCH_micro_crypto.json");
   EXPECT_EQ(bench_filename("a b\tc"), "BENCH_a_b_c.json");
+}
+
+// Degenerate ids (empty / all separators) would all sanitize to the same
+// "BENCH_.json" and silently clobber each other; the sink refuses them.
+TEST(Sink, BenchFilenameRejectsDegenerateIds) {
+  EXPECT_THROW((void)bench_filename(""), UsageError);
+  EXPECT_THROW((void)bench_filename("///"), UsageError);
+  EXPECT_THROW((void)bench_filename(" \t\n "), UsageError);
+}
+
+TEST(Sink, WriteRecordRejectsDegenerateIdIntoDirectory) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "simulcast_obs_degenerate";
+  fs::remove_all(dir);
+  ExperimentRecord rec = golden_record();
+  rec.id = "//";
+  EXPECT_THROW((void)write_record(rec, dir.string()), UsageError);
+  fs::remove_all(dir);
 }
 
 TEST(Sink, WritesExactFileOrIntoDirectory) {
