@@ -13,6 +13,7 @@
 //   options       --n=<parties=5> --corrupt=<i,j,...> --samples=<N=2000>
 //                 --seed=<s=1> --threads=<T=SIMULCAST_THREADS or 1>
 //                 --json=<PATH> --trace=<PATH>
+//                 --drop=<P> --delay=<R> --crash=<party@round,...>
 //
 // --threads (or the SIMULCAST_THREADS environment variable) shards the
 // sample collection across a thread pool; results are bit-identical for
@@ -20,6 +21,9 @@
 // --json / --trace route the run through the same core::finish_experiment
 // epilogue as the bench drivers: BENCH_explore_*.json records and
 // Perfetto-loadable TRACE_explore_*.json traces land under PATH.
+// --drop / --delay / --crash install a deterministic sim::FaultPlan
+// (sim/faults.h) applied to every execution; fault counters surface in the
+// [exec] line and the emitted record.
 //
 // Examples:
 //   explore flawed-pi-g parity uniform --corrupt=1,3
@@ -44,7 +48,8 @@ using namespace simulcast;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: explore <protocol> <adversary> <distribution> "
                "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1] "
-               "[--json=PATH] [--trace=PATH]\n"
+               "[--json=PATH] [--trace=PATH] "
+               "[--drop=P] [--delay=R] [--crash=party@round,...]\n"
                "run 'explore list' to enumerate the registered protocols.\n";
   std::exit(2);
 }
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
   std::vector<sim::PartyId> corrupted;
   std::size_t samples = 2000;
   std::uint64_t seed = 1;
+  sim::FaultPlan faults;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--n=", 0) == 0)
@@ -108,10 +114,17 @@ int main(int argc, char** argv) {
       exec::set_default_json_path(arg.substr(7));
     else if (arg.rfind("--trace=", 0) == 0)
       obs::set_default_trace_path(arg.substr(8));
+    else if (arg.rfind("--drop=", 0) == 0)
+      faults.drop_probability = std::stod(arg.substr(7));
+    else if (arg.rfind("--delay=", 0) == 0)
+      faults.max_delay = std::stoul(arg.substr(8));
+    else if (arg.rfind("--crash=", 0) == 0)
+      faults.crashes = sim::parse_crash_schedule(arg.substr(8));
     else
       usage("unknown option '" + arg + "'");
   }
   if (samples == 0) usage("--samples must be at least 1");
+  if (!faults.empty()) exec::set_default_fault_plan(faults);
 
   try {
     const auto proto = core::make_protocol(protocol_name);
@@ -143,6 +156,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < corrupted.size(); ++i)
       setup << (i ? "," : "") << corrupted[i];
     setup << "}, " << samples << " executions, seed " << seed << ")";
+    if (!faults.empty()) setup << "  faults: " << faults.summary();
     std::cout << "running " << setup.str() << "\n\n";
 
     obs::ExperimentRecord rec;

@@ -87,6 +87,13 @@ std::string describe(const obs::PerfRecord& p) {
      << " payload=" << r.traffic.payload_bytes << "B phases[sample="
      << fmt(r.phases.sampling, 3) << "s exec=" << fmt(r.phases.execution, 3)
      << "s eval=" << fmt(r.phases.evaluation, 3) << "s]";
+  // Only faulty runs print the fault tail, keeping fault-free output
+  // byte-identical to the pre-fault-layer format.
+  if (r.traffic.dropped > 0 || r.traffic.delayed > 0 || r.traffic.blocked > 0 ||
+      r.traffic.crashed > 0) {
+    os << " faults[dropped=" << r.traffic.dropped << " delayed=" << r.traffic.delayed
+       << " blocked=" << r.traffic.blocked << " crashed=" << r.traffic.crashed << "]";
+  }
   return os.str();
 }
 
@@ -129,6 +136,10 @@ exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) 
   out.traffic.broadcasts = a.traffic.broadcasts + b.traffic.broadcasts;
   out.traffic.payload_bytes = a.traffic.payload_bytes + b.traffic.payload_bytes;
   out.traffic.delivered_bytes = a.traffic.delivered_bytes + b.traffic.delivered_bytes;
+  out.traffic.dropped = a.traffic.dropped + b.traffic.dropped;
+  out.traffic.delayed = a.traffic.delayed + b.traffic.delayed;
+  out.traffic.blocked = a.traffic.blocked + b.traffic.blocked;
+  out.traffic.crashed = a.traffic.crashed + b.traffic.crashed;
   out.phases.sampling = a.phases.sampling + b.phases.sampling;
   out.phases.execution = a.phases.execution + b.phases.execution;
   out.phases.evaluation = a.phases.evaluation + b.phases.evaluation;
@@ -156,6 +167,9 @@ int finish_experiment(const obs::ExperimentRecord& record) {
   obs::trace_instant("finish_experiment");
   obs::ExperimentRecord full = record;
   if (full.metrics.empty()) full.metrics = obs::Metrics::global().snapshot();
+  // Records state the conditions they were measured under: drivers that
+  // didn't set a plan inherit whatever --drop/--delay/--crash installed.
+  if (full.faults.empty()) full.faults = exec::default_fault_plan();
   if (full.perf.report.executions > 0)
     std::cout << describe(full.perf) << "\n";
   if (!full.metrics.empty()) std::cout << describe(full.metrics) << "\n";

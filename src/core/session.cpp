@@ -38,6 +38,9 @@ SessionResult Session::run_with_adversary(const BitVec& inputs,
   sim::ExecutionConfig config;
   config.seed = seed;
   config.corrupted = corrupted;
+  // Same fallback the batch path gets from exec::run_one, so serial and
+  // batch runs of one seed stay identical under the process-default knobs.
+  config.faults = faults_.empty() ? exec::default_fault_plan() : faults_;
 
   const std::unique_ptr<sim::Adversary> adv = adversary();
   const sim::ExecutionResult exec =
@@ -78,6 +81,7 @@ SessionBatch Session::run_batch_seeded(const std::vector<BitVec>& inputs,
   spec.params = params_;
   spec.corrupted = corrupted;
   spec.adversary = adversary;
+  spec.faults = faults_;
 
   exec::BatchResult batch = exec::Runner(threads).run_batch(spec, inputs, seeds);
 

@@ -79,12 +79,19 @@ class Session {
       const std::vector<sim::PartyId>& corrupted, const adversary::AdversaryFactory& adversary,
       std::size_t threads = 0) const;
 
+  /// Fault plan applied to every execution this session runs, serial or
+  /// batch (sim/faults.h).  An empty plan (the default) falls back to the
+  /// process-wide exec::default_fault_plan().
+  void set_fault_plan(sim::FaultPlan plan) { faults_ = std::move(plan); }
+  [[nodiscard]] const sim::FaultPlan& fault_plan() const { return faults_; }
+
   [[nodiscard]] const sim::ParallelBroadcastProtocol& protocol() const { return *protocol_; }
   [[nodiscard]] const sim::ProtocolParams& params() const { return params_; }
 
  private:
   std::unique_ptr<sim::ParallelBroadcastProtocol> protocol_;
   sim::ProtocolParams params_;
+  sim::FaultPlan faults_;
 };
 
 }  // namespace simulcast::core

@@ -24,6 +24,11 @@ std::string& json_path_override() {
   return path;
 }
 
+sim::FaultPlan& fault_plan_override() {
+  static sim::FaultPlan plan;
+  return plan;
+}
+
 std::size_t env_threads() {
   const char* env = std::getenv("SIMULCAST_THREADS");
   if (env == nullptr || *env == '\0') return 1;
@@ -44,6 +49,7 @@ Sample run_one(const RunSpec& spec, const BitVec& input, std::uint64_t exec_seed
   config.corrupted = spec.corrupted;
   config.auxiliary_input = spec.auxiliary_input;
   config.private_channels = spec.private_channels;
+  config.faults = spec.faults.empty() ? default_fault_plan() : spec.faults;
 
   const std::unique_ptr<sim::Adversary> adv = spec.adversary();
   const sim::ExecutionResult result =
@@ -117,6 +123,10 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads,
     out.report.traffic.broadcasts += s.traffic.broadcasts;
     out.report.traffic.payload_bytes += s.traffic.payload_bytes;
     out.report.traffic.delivered_bytes += s.traffic.delivered_bytes;
+    out.report.traffic.dropped += s.traffic.dropped;
+    out.report.traffic.delayed += s.traffic.delayed;
+    out.report.traffic.blocked += s.traffic.blocked;
+    out.report.traffic.crashed += s.traffic.crashed;
   }
   return out;
 }
@@ -150,8 +160,18 @@ void set_default_json_path(std::string path) {
   json_path_override() = std::move(path);
 }
 
+const sim::FaultPlan& default_fault_plan() {
+  return fault_plan_override();
+}
+
+void set_default_fault_plan(sim::FaultPlan plan) {
+  fault_plan_override() = std::move(plan);
+}
+
 std::size_t configure_threads(int argc, char** argv,
                               std::initializer_list<std::string_view> pass_through) {
+  sim::FaultPlan plan = default_fault_plan();
+  bool plan_changed = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
@@ -179,6 +199,34 @@ std::size_t configure_threads(int argc, char** argv,
         std::exit(2);
       }
       obs::set_default_trace_path(path);
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      char* end = nullptr;
+      const double p = std::strtod(arg.c_str() + 7, &end);
+      if (end == arg.c_str() + 7 || *end != '\0' || !(p >= 0.0 && p <= 1.0)) {
+        std::fprintf(stderr, "error: --drop must be a probability in [0, 1], got '%s'\n",
+                     arg.c_str() + 7);
+        std::exit(2);
+      }
+      plan.drop_probability = p;
+      plan_changed = true;
+    } else if (arg.rfind("--delay=", 0) == 0) {
+      char* end = nullptr;
+      const long rounds = std::strtol(arg.c_str() + 8, &end, 10);
+      if (end == arg.c_str() + 8 || *end != '\0' || rounds < 0) {
+        std::fprintf(stderr, "error: --delay must be a round count >= 0, got '%s'\n",
+                     arg.c_str() + 8);
+        std::exit(2);
+      }
+      plan.max_delay = static_cast<std::size_t>(rounds);
+      plan_changed = true;
+    } else if (arg.rfind("--crash=", 0) == 0) {
+      try {
+        plan.crashes = sim::parse_crash_schedule(arg.substr(8));
+      } catch (const UsageError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
+      plan_changed = true;
     } else {
       bool passed = false;
       for (const std::string_view prefix : pass_through)
@@ -188,12 +236,14 @@ std::size_t configure_threads(int argc, char** argv,
         // experiment serially while the user believes otherwise.
         std::fprintf(stderr,
                      "error: unrecognized argument '%s'\n"
-                     "usage: %s [--threads=N] [--json=PATH] [--trace=PATH]\n",
+                     "usage: %s [--threads=N] [--json=PATH] [--trace=PATH] "
+                     "[--drop=P] [--delay=R] [--crash=party@round,...]\n",
                      arg.c_str(), argc > 0 ? argv[0] : "driver");
         std::exit(2);
       }
     }
   }
+  if (plan_changed) set_default_fault_plan(std::move(plan));
   return default_threads();
 }
 

@@ -50,6 +50,10 @@ struct RunSpec {
   adversary::AdversaryFactory adversary;
   Bytes auxiliary_input;
   bool private_channels = true;
+  /// Fault plan applied to every execution of the batch (sim/faults.h).
+  /// An empty plan falls back to the process-wide default_fault_plan(),
+  /// so the --drop/--delay/--crash knobs reach every driver unchanged.
+  sim::FaultPlan faults;
 };
 
 /// One execution's observables.
@@ -100,8 +104,10 @@ struct BatchResult {
 void set_default_threads(std::size_t threads);
 
 /// Scans argv for the uniform knobs every bench driver and example exposes
-/// — --threads=N, --json=PATH, --trace=PATH — installs them as the process
-/// defaults when present, and returns the effective thread default.
+/// — --threads=N, --json=PATH, --trace=PATH, plus the fault knobs
+/// --drop=P, --delay=R, --crash=party@round[,party@round...] (combined into
+/// one process-default FaultPlan) — installs them as the process defaults
+/// when present, and returns the effective thread default.
 /// Parsing is strict: any other argument exits 2 with a usage line (a
 /// silently ignored flag hides a mistyped knob), except arguments matching
 /// one of the `pass_through` prefixes, which are left for the caller's own
@@ -119,6 +125,16 @@ std::size_t configure_threads(int argc, char** argv,
 /// SIMULCAST_JSON fallback).  Not thread-safe: call from main before
 /// spawning batches, which is what configure_threads does.
 void set_default_json_path(std::string path);
+
+/// Process-wide default fault plan, empty unless set: the fallback every
+/// batch uses when its RunSpec carries an empty plan.  How the
+/// --drop/--delay/--crash knobs reach all drivers without per-driver wiring.
+[[nodiscard]] const sim::FaultPlan& default_fault_plan();
+
+/// Installs `plan` as the process-wide default (an empty plan clears it).
+/// Not thread-safe: call from main before spawning batches, which is what
+/// configure_threads does.
+void set_default_fault_plan(sim::FaultPlan plan);
 
 /// Scoped phase timer: adds the elapsed wall-clock seconds of its lifetime
 /// into `slot` on destruction (slots are the PhaseSeconds fields).  A

@@ -125,6 +125,10 @@ void append(Json& json, const PerfRecord& p) {
       .member("broadcasts", std::uint64_t{r.traffic.broadcasts})
       .member("payload_bytes", std::uint64_t{r.traffic.payload_bytes})
       .member("delivered_bytes", std::uint64_t{r.traffic.delivered_bytes})
+      .member("dropped", std::uint64_t{r.traffic.dropped})
+      .member("delayed", std::uint64_t{r.traffic.delayed})
+      .member("blocked", std::uint64_t{r.traffic.blocked})
+      .member("crashed", std::uint64_t{r.traffic.crashed})
       .object_end();
   json.key("phases")
       .object_begin()
@@ -173,6 +177,29 @@ void append(Json& json, const ExperimentRecord& r) {
       .member("compiler", kCompiler)
       .member("build", kBuildMode)
       .object_end();
+  json.key("faults")
+      .object_begin()
+      .member("drop_probability", r.faults.drop_probability)
+      .member("max_delay", std::uint64_t{r.faults.max_delay});
+  json.key("crashes").array_begin();
+  for (const sim::CrashFault& c : r.faults.crashes) {
+    json.object_begin()
+        .member("party", std::uint64_t{c.party})
+        .member("round", std::uint64_t{c.round})
+        .object_end();
+  }
+  json.array_end();
+  json.key("partitions").array_begin();
+  for (const sim::Partition& p : r.faults.partitions) {
+    json.object_begin().key("side").array_begin();
+    for (const sim::PartyId id : p.side) json.value(std::uint64_t{id});
+    json.array_end()
+        .member("from", std::uint64_t{p.from})
+        .member("until", std::uint64_t{p.until})
+        .object_end();
+  }
+  json.array_end();
+  json.object_end();
   json.key("cells").array_begin();
   for (const ExperimentCell& cell : r.cells) {
     json.object_begin().member("label", cell.label).key("verdict");

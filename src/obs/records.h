@@ -26,7 +26,10 @@ namespace simulcast::obs {
 /// Bump on any change to the record field layout below.
 /// v2: added the "metrics" object (counters + fixed-bucket histograms from
 /// the process-wide obs::Metrics registry).
-inline constexpr std::uint64_t kSchemaVersion = 2;
+/// v3: fault injection — "traffic" gained the dropped/delayed/blocked/
+/// crashed counters (zero for fault-free runs) and the record gained a
+/// top-level "faults" object describing the plan in force.
+inline constexpr std::uint64_t kSchemaVersion = 3;
 
 /// Fixed-precision decimal formatting shared by tables and detail strings
 /// (core::fmt delegates here so text and records agree digit for digit).
@@ -80,6 +83,10 @@ struct ExperimentRecord {
   /// Registry snapshot (schema v2).  Left empty by drivers:
   /// core::finish_experiment fills it from obs::Metrics::global().
   MetricsSnapshot metrics;
+  /// The fault plan in force (schema v3).  Left empty by drivers:
+  /// core::finish_experiment fills it from exec::default_fault_plan(), so a
+  /// record always states the conditions it was measured under.
+  sim::FaultPlan faults;
 };
 
 /// Serializers.  append() writes the record as the next JSON value (the

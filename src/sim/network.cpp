@@ -26,6 +26,19 @@ void record_round_metrics(std::size_t messages, std::size_t payload_bytes) {
   msgs.record(messages);
 }
 
+/// Fault-accounting registry feeds; recorded once per execution, only when
+/// the plan was nonempty (the fault-free path touches no fault metric).
+void record_fault_metrics(const TrafficStats& traffic) {
+  static obs::Counter& dropped = obs::Metrics::global().counter("sim.dropped_messages");
+  static obs::Counter& delayed = obs::Metrics::global().counter("sim.delayed_messages");
+  static obs::Counter& blocked = obs::Metrics::global().counter("sim.blocked_deliveries");
+  static obs::Counter& crashed = obs::Metrics::global().counter("sim.crashed_parties");
+  dropped.add(traffic.dropped);
+  delayed.add(traffic.delayed);
+  blocked.add(traffic.blocked);
+  crashed.add(traffic.crashed);
+}
+
 }  // namespace
 
 void PartyContext::send(PartyId to, std::string tag, Bytes payload) {
@@ -57,11 +70,16 @@ void FunctionalitySender::send(PartyId to, std::string tag, Bytes payload) {
 }
 
 const BitVec& ExecutionResult::any_honest_output(const std::vector<PartyId>& corrupted) const {
+  std::string failed;
   for (PartyId id = 0; id < outputs.size(); ++id) {
     if (is_corrupted(corrupted, id)) continue;
     if (outputs[id].has_value()) return *outputs[id];
+    failed += (failed.empty() ? "P" : ", P") + std::to_string(id);
   }
-  throw ProtocolError("ExecutionResult: no honest party produced output");
+  throw ProtocolError("ExecutionResult: no honest party produced output (" +
+                      (failed.empty() ? std::string("no honest parties exist")
+                                      : "failed honest parties: " + failed) +
+                      ")");
 }
 
 bool ExecutionResult::honest_outputs_consistent(const std::vector<PartyId>& corrupted) const {
@@ -91,6 +109,8 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     if (id >= n) throw UsageError("run_execution: corrupted id out of range");
   if (corrupted.size() > protocol.max_corruptions(n))
     throw UsageError("run_execution: protocol does not tolerate this many corruptions");
+  const FaultPlan& plan = config.faults;
+  plan.validate(n);
 
   // Derived randomness streams.
   std::vector<crypto::HmacDrbg> party_drbgs;
@@ -123,21 +143,115 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     adversary.setup(info, adversary_drbg);
   }
 
-  for (PartyId id = 0; id < n; ++id)
-    if (machines[id]) machines[id]->begin(contexts[id]);
-
   const std::size_t total_rounds = protocol.rounds(n);
   ExecutionResult result;
   result.rounds = total_rounds;
   if (config.record_trace) result.trace.resize(total_rounds + 1);
 
-  // in_flight: messages sent in the previous round, awaiting delivery.
-  std::vector<Message> in_flight;
+  // The fault DRBG exists only when a fault needs randomness; the empty
+  // plan instantiates nothing and draws nothing (byte-identity contract).
+  std::optional<crypto::HmacDrbg> fault_drbg;
+  if (plan.drop_probability > 0.0 || plan.max_delay > 0)
+    fault_drbg.emplace(config.seed, "faults");
+  // Bernoulli(drop_probability) over a 53-bit uniform draw: exact at the
+  // endpoints (p = 0 never drops, p = 1 always does).
+  constexpr std::uint64_t kDropScale = std::uint64_t{1} << 53;
+  const std::uint64_t drop_threshold =
+      static_cast<std::uint64_t>(plan.drop_probability * static_cast<double>(kDropScale));
 
-  const auto deliver_to = [&](const std::vector<Message>& pool, PartyId id) {
+  // First crash round per party; crashes of corrupted parties are no-ops
+  // (the adversary, not a machine, acts for them).
+  constexpr Round kNoCrash = std::numeric_limits<Round>::max();
+  std::vector<Round> crash_at(n, kNoCrash);
+  for (const CrashFault& c : plan.crashes)
+    if (!is_corrupted(corrupted, c.party)) crash_at[c.party] = std::min(crash_at[c.party], c.round);
+
+  const auto apply_crashes = [&](Round round) {
+    if (plan.crashes.empty()) return;
+    for (PartyId id = 0; id < n; ++id) {
+      if (machines[id] == nullptr || crash_at[id] > round) continue;
+      machines[id].reset();
+      result.crashed.push_back(id);
+      ++result.traffic.crashed;
+      if (obs::trace_enabled())
+        obs::trace_instant("party-crash", {{"party", id}, {"round", round}});
+    }
+  };
+
+  /// A party that threw ProtocolError mid-round fails in place: it stops
+  /// sending (queued messages of the failing round are discarded) and its
+  /// output becomes nullopt; the execution carries on.
+  const auto fail_party = [&](PartyId id) {
+    (void)contexts[id].take_outbox();
+    machines[id].reset();
+  };
+
+  for (PartyId id = 0; id < n; ++id) {
+    if (machines[id] == nullptr) continue;
+    try {
+      machines[id]->begin(contexts[id]);
+    } catch (const ProtocolError&) {
+      fail_party(id);
+    }
+  }
+
+  const auto link_blocked = [&](PartyId from, PartyId to, Round at) {
+    for (const Partition& p : plan.partitions) {
+      if (at < p.from || at >= p.until) continue;
+      const bool from_inside =
+          std::find(p.side.begin(), p.side.end(), from) != p.side.end();
+      const bool to_inside = std::find(p.side.begin(), p.side.end(), to) != p.side.end();
+      if (from_inside != to_inside) return true;
+    }
+    return false;
+  };
+
+  // pending[r]: messages awaiting delivery at the start of round r
+  // (r == total_rounds is the final delivery into Party::finish).  Without
+  // faults every message sent in round r lands in pending[r + 1], exactly
+  // the old in_flight hand-off.
+  std::vector<std::vector<Message>> pending(total_rounds + 1);
+
+  // Routes one round's outgoing traffic, applying drops and delays.
+  // Functionality traffic models an ideal subprotocol and is exempt.
+  const auto route = [&](std::vector<Message>&& sent, Round round) {
+    for (Message& m : sent) {
+      std::size_t slot = round + 1;
+      const bool exempt = m.to == kFunctionality || m.from == kFunctionality;
+      if (!exempt) {
+        if (drop_threshold > 0 && fault_drbg->below(kDropScale) < drop_threshold) {
+          ++result.traffic.dropped;
+          continue;
+        }
+        if (plan.max_delay > 0) {
+          const std::size_t delay = fault_drbg->below(plan.max_delay + 1);
+          if (delay > 0) ++result.traffic.delayed;
+          slot += delay;
+          if (slot > total_rounds) {
+            // Delayed past the final delivery: the message is lost.
+            ++result.traffic.dropped;
+            continue;
+          }
+        }
+      }
+      pending[slot].push_back(std::move(m));
+    }
+  };
+
+  const auto deliver_to = [&](const std::vector<Message>& pool, PartyId id, Round at) {
     std::vector<Message> inbox;
-    for (const Message& m : pool)
-      if (m.to == id || (m.to == kBroadcast && m.from != id)) inbox.push_back(m);
+    for (const Message& m : pool) {
+      if (m.to == id) {
+        if (!plan.partitions.empty() && m.from != kFunctionality &&
+            link_blocked(m.from, id, at)) {
+          ++result.traffic.blocked;
+          continue;
+        }
+        inbox.push_back(m);
+      } else if (m.to == kBroadcast && m.from != id) {
+        inbox.push_back(m);
+      }
+    }
     return inbox;
   };
 
@@ -159,13 +273,22 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     obs::TraceSpan round_span("round");
     round_span.arg("round", round);
     const TrafficStats traffic_before = result.traffic;
+    const std::vector<Message>& arriving = pending[round];
     std::vector<Message> sent_this_round;
+
+    // 0. Crashes scheduled for this round take effect before anyone acts.
+    apply_crashes(round);
 
     // 1+2. Honest parties act on their deliveries.
     for (PartyId id = 0; id < n; ++id) {
       if (!machines[id]) continue;
-      const std::vector<Message> inbox = deliver_to(in_flight, id);
-      machines[id]->on_round(round, inbox, contexts[id]);
+      const std::vector<Message> inbox = deliver_to(arriving, id, round);
+      try {
+        machines[id]->on_round(round, inbox, contexts[id]);
+      } catch (const ProtocolError&) {
+        fail_party(id);
+        continue;
+      }
       for (Message& m : contexts[id].take_outbox()) {
         m.round = round;
         sent_this_round.push_back(std::move(m));
@@ -175,7 +298,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     // Functionality acts on its deliveries.
     if (functionality) {
       std::vector<Message> inbox;
-      for (const Message& m : in_flight)
+      for (const Message& m : arriving)
         if (m.to == kFunctionality) inbox.push_back(m);
       FunctionalitySender fsender;
       functionality->on_round(round, inbox, functionality_drbg, fsender);
@@ -185,13 +308,21 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       }
     }
 
-    // 3. Adversary: deliveries to corrupted parties + rushed same-round view.
+    // 3. Adversary: deliveries to corrupted parties + rushed same-round
+    // view.  Deliveries respect the fault plan (a partitioned or dropped
+    // message reaches no one); the rushed entitlement is a wiretap on the
+    // senders and is therefore shown pre-fault.
     AdversaryView view;
     view.round = round;
-    for (const Message& m : in_flight) {
+    for (const Message& m : arriving) {
       const bool to_corrupted = m.to != kBroadcast && m.to != kFunctionality &&
                                 is_corrupted(corrupted, m.to);
       const bool broadcast_msg = m.to == kBroadcast;
+      if (to_corrupted && !plan.partitions.empty() && m.from != kFunctionality &&
+          link_blocked(m.from, m.to, round)) {
+        ++result.traffic.blocked;
+        continue;
+      }
       if (to_corrupted || broadcast_msg || (!config.private_channels && m.to != kFunctionality))
         view.delivered.push_back(m);
     }
@@ -219,16 +350,30 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       obs::trace_instant("round-traffic",
                          {{"round", round}, {"messages", round_messages}, {"bytes", round_bytes}});
     if (config.record_trace) result.trace[round] = sent_this_round;
-    in_flight = std::move(sent_this_round);
+    pending[round].clear();
+    route(std::move(sent_this_round), round);
+    if (obs::trace_enabled()) {
+      const std::size_t round_dropped = result.traffic.dropped - traffic_before.dropped;
+      const std::size_t round_blocked = result.traffic.blocked - traffic_before.blocked;
+      if (round_dropped > 0 || round_blocked > 0)
+        obs::trace_instant("round-faults", {{"round", round},
+                                            {"dropped", round_dropped},
+                                            {"blocked", round_blocked}});
+    }
   }
 
   // Final delivery.
+  apply_crashes(total_rounds);
   for (PartyId id = 0; id < n; ++id) {
     if (!machines[id]) continue;
-    const std::vector<Message> inbox = deliver_to(in_flight, id);
-    machines[id]->finish(inbox, contexts[id]);
+    const std::vector<Message> inbox = deliver_to(pending[total_rounds], id, total_rounds);
+    try {
+      machines[id]->finish(inbox, contexts[id]);
+    } catch (const ProtocolError&) {
+      fail_party(id);
+    }
   }
-  if (config.record_trace) result.trace[total_rounds] = in_flight;
+  if (config.record_trace) result.trace[total_rounds] = pending[total_rounds];
 
   result.outputs.resize(n);
   for (PartyId id = 0; id < n; ++id) {
@@ -240,6 +385,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     }
   }
   result.adversary_output = adversary.output();
+  if (!plan.empty()) record_fault_metrics(result.traffic);
   return result;
 }
 

@@ -13,6 +13,14 @@
 //   3. the adversary sees its round-r entitlement (deliveries + rushable
 //      same-round honest traffic) and queues corrupted round-r messages.
 // After the final round there is one last delivery into Party::finish.
+//
+// Faults: an ExecutionConfig may carry a FaultPlan (sim/faults.h) applied
+// at delivery time — drops, bounded delays, crash schedules and link
+// partitions, all drawn from a DRBG forked from the master seed so faulty
+// executions replay exactly.  A party that throws ProtocolError mid-round
+// (e.g. on traffic mutilated by faults) fails in place — its machine stops,
+// the execution continues, and its output becomes nullopt — it never takes
+// the whole execution down.
 #pragma once
 
 #include <optional>
@@ -20,6 +28,7 @@
 
 #include "base/bitvec.h"
 #include "sim/adversary.h"
+#include "sim/faults.h"
 #include "sim/protocol.h"
 
 namespace simulcast::sim {
@@ -30,6 +39,9 @@ struct ExecutionConfig {
   Bytes auxiliary_input;             ///< adversary auxiliary input z
   bool private_channels = true;      ///< false lets the adversary read all p2p traffic
   bool record_trace = false;         ///< keep every message for debugging
+  /// Deterministic fault injection (sim/faults.h).  The default (empty)
+  /// plan leaves the execution byte-identical to a faultless run.
+  FaultPlan faults;
 };
 
 struct TrafficStats {
@@ -38,6 +50,12 @@ struct TrafficStats {
   std::size_t broadcasts = 0;      ///< broadcast-channel sends
   std::size_t payload_bytes = 0;   ///< sum of payload sizes over sends
   std::size_t delivered_bytes = 0; ///< payload bytes times fan-out
+  // Fault accounting (all zero unless an ExecutionConfig carries a
+  // nonempty FaultPlan; see sim/faults.h).
+  std::size_t dropped = 0;         ///< messages never delivered (drop draw, or delayed past the end)
+  std::size_t delayed = 0;         ///< messages assigned a nonzero delivery delay
+  std::size_t blocked = 0;         ///< p2p link-deliveries suppressed by partitions
+  std::size_t crashed = 0;         ///< honest parties crashed by the plan
 };
 
 struct ExecutionResult {
@@ -47,11 +65,15 @@ struct ExecutionResult {
   Bytes adversary_output;
   std::size_t rounds = 0;
   TrafficStats traffic;
+  /// Honest parties crashed by the fault plan, in crash order (by round,
+  /// then by id within a round).
+  std::vector<PartyId> crashed;
   /// All messages by round (only when record_trace was set).
   std::vector<std::vector<Message>> trace;
 
   /// First honest output (Definition 3.1 takes any honest party's vector).
-  /// Throws ProtocolError if no honest party produced output.
+  /// Throws ProtocolError (naming the honest parties that failed) if no
+  /// honest party produced output.
   [[nodiscard]] const BitVec& any_honest_output(const std::vector<PartyId>& corrupted) const;
 
   /// True when all honest outputs are equal (the consistency property).

@@ -26,7 +26,9 @@ bool same_sample(const Sample& a, const Sample& b) {
          a.traffic.point_to_point == b.traffic.point_to_point &&
          a.traffic.broadcasts == b.traffic.broadcasts &&
          a.traffic.payload_bytes == b.traffic.payload_bytes &&
-         a.traffic.delivered_bytes == b.traffic.delivered_bytes;
+         a.traffic.delivered_bytes == b.traffic.delivered_bytes &&
+         a.traffic.dropped == b.traffic.dropped && a.traffic.delayed == b.traffic.delayed &&
+         a.traffic.blocked == b.traffic.blocked && a.traffic.crashed == b.traffic.crashed;
 }
 
 RunSpec spec_for(const sim::ParallelBroadcastProtocol& proto, std::size_t n) {
@@ -175,6 +177,70 @@ TEST(Runner, TracingNeverPerturbsSamplesOrRecords) {
           << "threads " << threads << " rep " << i;
     EXPECT_EQ(baseline_json, traced_json) << "threads " << threads;
   }
+}
+
+// Fault injection rides the same determinism contract: a nontrivial
+// FaultPlan (drops + delays + a crash + a partition) yields identical
+// samples — outputs AND per-execution fault counts — for one seed at
+// threads {1, 2, 8}, with tracing on and off.  Under the sanitize label
+// this runs the fault path (DRBG draws, crash bookkeeping, partition
+// filters) through TSan across a real pool.
+TEST(Runner, FaultInjectionDeterministicAcrossThreadsAndTracing) {
+  const auto proto = core::make_protocol("gennaro");
+  RunSpec spec = spec_for(*proto, 5);
+  spec.faults.drop_probability = 0.1;
+  spec.faults.max_delay = 1;
+  spec.faults.crashes.push_back({2, 1});
+  spec.faults.partitions.push_back({{0, 1}, 1, 3});
+  const auto ens = dist::make_uniform(5);
+  constexpr std::size_t kReps = 24;
+
+  ASSERT_EQ(unsetenv("SIMULCAST_TRACE"), 0);
+  obs::set_default_trace_path("");
+  obs::clear_trace();
+  const auto baseline = testers::collect_batch(spec, *ens, kReps, 13, 1);
+  std::size_t faults_seen = 0;
+  for (const Sample& s : baseline.samples)
+    faults_seen += s.traffic.dropped + s.traffic.delayed + s.traffic.blocked + s.traffic.crashed;
+  EXPECT_GT(faults_seen, 0u) << "the plan must actually inject faults";
+
+  for (const bool tracing : {false, true}) {
+    obs::set_default_trace_path(tracing ? "trace-on" : "");
+    obs::clear_trace();
+    ASSERT_EQ(obs::trace_enabled(), tracing);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      const auto rerun = testers::collect_batch(spec, *ens, kReps, 13, threads);
+      ASSERT_EQ(baseline.samples.size(), rerun.samples.size());
+      for (std::size_t i = 0; i < baseline.samples.size(); ++i)
+        EXPECT_TRUE(same_sample(baseline.samples[i], rerun.samples[i]))
+            << "tracing " << tracing << " threads " << threads << " rep " << i;
+      EXPECT_EQ(baseline.report.traffic.dropped, rerun.report.traffic.dropped);
+      EXPECT_EQ(baseline.report.traffic.delayed, rerun.report.traffic.delayed);
+      EXPECT_EQ(baseline.report.traffic.blocked, rerun.report.traffic.blocked);
+      EXPECT_EQ(baseline.report.traffic.crashed, rerun.report.traffic.crashed);
+    }
+    (void)obs::drain_trace();
+  }
+  obs::set_default_trace_path("");
+}
+
+// An empty RunSpec plan falls back to the process default; an installed
+// default must reach every execution and clear cleanly.
+TEST(Runner, DefaultFaultPlanReachesBatches) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const auto ens = dist::make_uniform(4);
+
+  sim::FaultPlan plan;
+  plan.crashes.push_back({1, 0});
+  set_default_fault_plan(plan);
+  const auto faulty = testers::collect_batch(spec, *ens, 4, 5, 1);
+  set_default_fault_plan({});
+  EXPECT_EQ(faulty.report.traffic.crashed, 4u) << "party 1 crashes once per execution";
+
+  const auto clean = testers::collect_batch(spec, *ens, 4, 5, 1);
+  EXPECT_EQ(clean.report.traffic.crashed, 0u);
+  EXPECT_TRUE(default_fault_plan().empty());
 }
 
 // Garbage in SIMULCAST_THREADS must abort loudly (exit 2), never silently

@@ -104,7 +104,7 @@ TEST(Json, BuilderRejectsMalformedDocuments) {
 ExperimentRecord golden_record() {
   ExperimentRecord rec;
   rec.id = "E0/golden";
-  rec.paper_claim = "schema fixture: field layout of record schema v2";
+  rec.paper_claim = "schema fixture: field layout of record schema v3";
   rec.setup = "hand-built record with \"quotes\", back\\slash and tab\there";
   rec.reproduced = true;
   rec.detail = "2 cells, 1 statistic + 1 check";
@@ -135,6 +135,10 @@ ExperimentRecord golden_record() {
   rec.perf.report.traffic.broadcasts = 64;
   rec.perf.report.traffic.payload_bytes = 1024;
   rec.perf.report.traffic.delivered_bytes = 4096;
+  rec.perf.report.traffic.dropped = 7;
+  rec.perf.report.traffic.delayed = 3;
+  rec.perf.report.traffic.blocked = 2;
+  rec.perf.report.traffic.crashed = 1;
   rec.perf.report.phases.sampling = 0.125;
   rec.perf.report.phases.execution = 0.25;
   rec.perf.report.phases.evaluation = 0.0625;
@@ -151,6 +155,13 @@ ExperimentRecord golden_record() {
   rounds.count = 32;
   rounds.sum = 96;
   rec.metrics.histograms.push_back(rounds);
+
+  // Fault plan (schema v3): exercises every serialized field, including a
+  // finite and an open-ended partition window.
+  rec.faults.drop_probability = 0.0625;
+  rec.faults.max_delay = 2;
+  rec.faults.crashes.push_back({1, 0});
+  rec.faults.partitions.push_back({{0, 2}, 1, 3});
   return rec;
 }
 

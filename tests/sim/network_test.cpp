@@ -265,5 +265,208 @@ TEST(Network, NoHonestOutputThrows) {
   EXPECT_FALSE(result.honest_outputs_consistent({}));
 }
 
+// The failure diagnostic must name the honest parties that produced no
+// output — "which parties failed" is the first question a fault-injection
+// debugging session asks.
+TEST(Network, NoHonestOutputNamesFailedParties) {
+  ExecutionResult result;
+  result.outputs.resize(3);
+  try {
+    (void)result.any_honest_output({0});
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failed honest parties: P1, P2"), std::string::npos) << what;
+    EXPECT_EQ(what.find("P0"), std::string::npos) << "corrupted P0 is not a failure: " << what;
+  }
+  // All parties corrupted: a different diagnostic, not a misleading list.
+  try {
+    (void)result.any_honest_output({0, 1, 2});
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("no honest parties exist"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- faults ----
+
+// A party that sends its bit point-to-point instead of on the broadcast
+// channel, for partition/drop assertions (the broadcast channel is exempt).
+class P2pEchoParty final : public Party {
+ public:
+  explicit P2pEchoParty(bool input) : input_(input) {}
+  void begin(PartyContext& ctx) override {
+    n_ = ctx.n();
+    heard_ = BitVec(n_);
+  }
+  void on_round(Round round, const std::vector<Message>& inbox, PartyContext& ctx) override {
+    record(inbox);
+    if (round == 0) {
+      heard_.set(ctx.id(), input_);
+      for (PartyId to = 0; to < n_; ++to)
+        if (to != ctx.id()) ctx.send(to, "bit", Bytes{input_ ? std::uint8_t{1} : std::uint8_t{0}});
+    }
+  }
+  void finish(const std::vector<Message>& inbox, PartyContext&) override { record(inbox); }
+  [[nodiscard]] BitVec output() const override { return heard_; }
+
+ private:
+  void record(const std::vector<Message>& inbox) {
+    for (const Message& m : inbox)
+      if (m.tag == "bit" && m.payload.size() == 1 && m.from < n_)
+        heard_.set(m.from, m.payload[0] != 0);
+  }
+  bool input_;
+  std::size_t n_ = 0;
+  BitVec heard_;
+};
+
+class P2pEchoProtocol final : public ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "p2p-echo"; }
+  [[nodiscard]] std::size_t rounds(std::size_t) const override { return 1; }
+  [[nodiscard]] std::unique_ptr<Party> make_party(PartyId, bool input,
+                                                  const ProtocolParams&) const override {
+    return std::make_unique<P2pEchoParty>(input);
+  }
+};
+
+/// EchoBits stretched to three rounds so delayed deliveries still land
+/// before the final round.
+class SlowEchoProtocol final : public ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "slow-echo"; }
+  [[nodiscard]] std::size_t rounds(std::size_t) const override { return 3; }
+  [[nodiscard]] std::unique_ptr<Party> make_party(PartyId, bool input,
+                                                  const ProtocolParams&) const override {
+    return std::make_unique<EchoBitsParty>(input);
+  }
+};
+
+TEST(Faults, CrashStopsPartyAtScheduledRound) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 3;
+  config.faults.crashes = {{0, 0}};
+  const auto result = run_execution(proto, params_for(3), BitVec::from_string("111"), adv, config);
+  EXPECT_EQ(result.crashed, (std::vector<PartyId>{0}));
+  EXPECT_EQ(result.traffic.crashed, 1u);
+  EXPECT_FALSE(result.outputs[0].has_value());
+  for (PartyId id : {PartyId{1}, PartyId{2}}) {
+    ASSERT_TRUE(result.outputs[id].has_value()) << id;
+    // P0 crashed before sending, so its coordinate was never heard.
+    EXPECT_EQ(result.outputs[id]->to_string(), "011") << id;
+  }
+}
+
+TEST(Faults, CrashOfCorruptedPartyIsANoOp) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 3;
+  config.corrupted = {0};
+  config.faults.crashes = {{0, 0}};
+  const auto result = run_execution(proto, params_for(3), BitVec::from_string("111"), adv, config);
+  EXPECT_TRUE(result.crashed.empty());
+  EXPECT_EQ(result.traffic.crashed, 0u);
+}
+
+TEST(Faults, PartitionCutsP2pLinksBothWays) {
+  P2pEchoProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 5;
+  config.faults.partitions.push_back({{0}, 0, std::numeric_limits<Round>::max()});
+  const auto result = run_execution(proto, params_for(3), BitVec::from_string("111"), adv, config);
+  // P0 hears neither side and vice versa; the {1, 2} side still exchanges.
+  EXPECT_EQ(result.outputs[0]->to_string(), "100");
+  EXPECT_EQ(result.outputs[1]->to_string(), "011");
+  EXPECT_EQ(result.outputs[2]->to_string(), "011");
+  EXPECT_EQ(result.traffic.blocked, 4u);  // 0->1, 0->2, 1->0, 2->0
+  EXPECT_EQ(result.traffic.dropped, 0u);
+}
+
+TEST(Faults, PartitionLeavesBroadcastChannelAlone) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 5;
+  config.faults.partitions.push_back({{0}, 0, std::numeric_limits<Round>::max()});
+  const auto result = run_execution(proto, params_for(3), BitVec::from_string("111"), adv, config);
+  for (PartyId id = 0; id < 3; ++id) EXPECT_EQ(result.outputs[id]->to_string(), "111") << id;
+  EXPECT_EQ(result.traffic.blocked, 0u);
+}
+
+TEST(Faults, DropProbabilityOneLosesEveryMessage) {
+  P2pEchoProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 7;
+  config.faults.drop_probability = 1.0;
+  const auto result = run_execution(proto, params_for(3), BitVec::from_string("111"), adv, config);
+  for (PartyId id = 0; id < 3; ++id) {
+    BitVec own(3);
+    own.set(id, true);
+    EXPECT_EQ(*result.outputs[id], own) << "party " << id << " heard someone";
+  }
+  EXPECT_EQ(result.traffic.dropped, result.traffic.messages);
+}
+
+TEST(Faults, BoundedDelayStillDeliversWithinTheRun) {
+  SlowEchoProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.seed = 11;
+  config.faults.max_delay = 2;  // bits sent in round 0 land by round 3 = finish
+  const auto result = run_execution(proto, params_for(4), BitVec::from_string("1111"), adv, config);
+  for (PartyId id = 0; id < 4; ++id)
+    EXPECT_EQ(result.outputs[id]->to_string(), "1111") << id;
+  EXPECT_GT(result.traffic.delayed, 0u);
+  EXPECT_EQ(result.traffic.dropped, 0u);
+}
+
+TEST(Faults, FaultyExecutionIsDeterministicForSeed) {
+  P2pEchoProtocol proto;
+  ExecutionConfig config;
+  config.seed = 13;
+  config.faults.drop_probability = 0.4;
+  config.faults.max_delay = 1;
+  RecordingAdversary a1, a2;
+  const auto r1 = run_execution(proto, params_for(4), BitVec::from_string("1010"), a1, config);
+  const auto r2 = run_execution(proto, params_for(4), BitVec::from_string("1010"), a2, config);
+  for (PartyId id = 0; id < 4; ++id) EXPECT_EQ(r1.outputs[id], r2.outputs[id]) << id;
+  EXPECT_EQ(r1.traffic.dropped, r2.traffic.dropped);
+  EXPECT_EQ(r1.traffic.delayed, r2.traffic.delayed);
+}
+
+TEST(Faults, PlanValidationRejectsMalformedPlans) {
+  EchoBitsProtocol proto;
+  RecordingAdversary adv;
+  ExecutionConfig config;
+  config.faults.drop_probability = 1.5;
+  EXPECT_THROW((void)run_execution(proto, params_for(3), BitVec(3), adv, config), UsageError);
+  config.faults.drop_probability = 0.0;
+  config.faults.crashes = {{7, 0}};
+  EXPECT_THROW((void)run_execution(proto, params_for(3), BitVec(3), adv, config), UsageError);
+  config.faults.crashes.clear();
+  config.faults.partitions.push_back({{}, 0, 1});
+  EXPECT_THROW((void)run_execution(proto, params_for(3), BitVec(3), adv, config), UsageError);
+}
+
+TEST(Faults, CrashScheduleParserRoundTrips) {
+  const auto crashes = parse_crash_schedule("1@0,2@5");
+  ASSERT_EQ(crashes.size(), 2u);
+  EXPECT_EQ(crashes[0].party, 1u);
+  EXPECT_EQ(crashes[0].round, 0u);
+  EXPECT_EQ(crashes[1].party, 2u);
+  EXPECT_EQ(crashes[1].round, 5u);
+  EXPECT_THROW((void)parse_crash_schedule(""), UsageError);
+  EXPECT_THROW((void)parse_crash_schedule("1@"), UsageError);
+  EXPECT_THROW((void)parse_crash_schedule("@2"), UsageError);
+  EXPECT_THROW((void)parse_crash_schedule("1@2x"), UsageError);
+  EXPECT_THROW((void)parse_crash_schedule("one@2"), UsageError);
+}
+
 }  // namespace
 }  // namespace simulcast::sim
