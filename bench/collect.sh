@@ -18,21 +18,34 @@
 # BENCH_*.json whose "faults" object carries the requested drop rate, whose
 # traffic section carries the fault counters, and whose "reproduced" field
 # is an explicit true/false verdict.
+#
+# With --resume, each driver instead exercises the interrupt/resume story
+# end to end (DESIGN.md section 10): run once uninterrupted as a baseline,
+# run again with --checkpoint + --stop-after=$RESUME_STOP (default 3) so the
+# campaign self-interrupts after a few repetitions and flushes a partial
+# record plus a resume checkpoint, then run a third time with --resume to
+# complete it.  The resumed record must match the baseline record after
+# canonicalization (timing fields and the metrics block stripped — wall
+# clock legitimately differs; every deterministic field must not), and no
+# checkpoint file may survive a completed campaign.
 set -u
 
 want_trace=0
 want_faults=0
-while [ "${1:-}" = "--trace" ] || [ "${1:-}" = "--faults" ]; do
+want_resume=0
+while [ "${1:-}" = "--trace" ] || [ "${1:-}" = "--faults" ] || [ "${1:-}" = "--resume" ]; do
   case $1 in
     --trace) want_trace=1 ;;
     --faults) want_faults=1 ;;
+    --resume) want_resume=1 ;;
   esac
   shift
 done
 drop_rate=${FAULT_DROP:-0.05}
+resume_stop=${RESUME_STOP:-3}
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 [--trace] [--faults] OUT_DIR [DRIVER...]" >&2
+  echo "usage: $0 [--trace] [--faults] [--resume] OUT_DIR [DRIVER...]" >&2
   exit 2
 fi
 
@@ -81,6 +94,92 @@ EOF
       grep -q '"reproduced": ' "$1"
   fi
 }
+
+# Resumed-vs-baseline record equality modulo wall clock: strip the keys
+# that legitimately differ between two runs of the same campaign ("metrics",
+# "phases", "wall_seconds", "throughput" — all timing) anywhere in the tree,
+# then require exact equality.  Determinism of everything else (verdict,
+# seeds, traffic, rounds, completion accounting) is the resume contract.
+check_resumed_record() {
+  python3 - "$1" "$2" 2>&1 <<'EOF'
+import json, sys
+
+def canon(node):
+    if isinstance(node, dict):
+        return {k: canon(v) for k, v in node.items()
+                if k not in ("metrics", "phases", "wall_seconds", "throughput")}
+    if isinstance(node, list):
+        return [canon(v) for v in node]
+    return node
+
+baseline = canon(json.load(open(sys.argv[1])))
+resumed = canon(json.load(open(sys.argv[2])))
+if baseline != resumed:
+    for key in sorted(set(baseline) | set(resumed)):
+        if baseline.get(key) != resumed.get(key):
+            print(f"  field {key!r} differs:\n    baseline: {baseline.get(key)!r}\n    resumed:  {resumed.get(key)!r}")
+    sys.exit(1)
+EOF
+}
+
+if [ "$want_resume" -eq 1 ]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "collect.sh: --resume needs python3 for record comparison" >&2
+    exit 2
+  fi
+  failures=0
+  for driver in "${drivers[@]}"; do
+    name=$(basename "$driver")
+    base_dir=$out_dir/baseline_$name
+    res_dir=$out_dir/resumed_$name
+    ckpt_dir=$out_dir/ckpts_$name
+    rm -rf "$base_dir" "$res_dir" "$ckpt_dir"
+    mkdir -p "$base_dir" "$res_dir" "$ckpt_dir"
+
+    if ! "$driver" --json="$base_dir"; then
+      echo "collect.sh: FAIL $name (baseline run exited nonzero)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    # Interrupted run: --stop-after makes the process drain after a few
+    # repetitions; the verdict may be partial, so a nonzero exit is fine.
+    # What must exist afterwards are a partial record and a checkpoint.
+    "$driver" --json="$res_dir" --checkpoint="$ckpt_dir" --stop-after="$resume_stop" || true
+    if ! ls "$ckpt_dir"/*.ckpt >/dev/null 2>&1; then
+      echo "collect.sh: FAIL $name (interrupted run left no checkpoint in $ckpt_dir)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! grep -q '"partial": true' "$res_dir"/BENCH_*.json; then
+      echo "collect.sh: FAIL $name (interrupted run wrote no partial record)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! "$driver" --json="$res_dir" --checkpoint="$ckpt_dir" --resume; then
+      echo "collect.sh: FAIL $name (resume run exited nonzero)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ls "$ckpt_dir"/*.ckpt >/dev/null 2>&1; then
+      echo "collect.sh: FAIL $name (completed campaign left stale checkpoints in $ckpt_dir)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    record_ok=1
+    for baseline in "$base_dir"/BENCH_*.json; do
+      resumed=$res_dir/$(basename "$baseline")
+      if [ ! -f "$resumed" ] || ! check_resumed_record "$baseline" "$resumed"; then
+        echo "collect.sh: FAIL $name (resumed record $(basename "$baseline") differs from baseline)" >&2
+        record_ok=0
+      fi
+    done
+    [ "$record_ok" -eq 1 ] || failures=$((failures + 1))
+  done
+  count=${#drivers[@]}
+  echo "collect.sh: $((count - failures))/$count drivers resumed identically, records in $out_dir"
+  [ "$failures" -eq 0 ]
+  exit
+fi
 
 failures=0
 for driver in "${drivers[@]}"; do

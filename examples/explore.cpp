@@ -49,7 +49,9 @@ using namespace simulcast;
   std::cerr << "usage: explore <protocol> <adversary> <distribution> "
                "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1] "
                "[--json=PATH] [--trace=PATH] "
-               "[--drop=P] [--delay=R] [--crash=party@round,...]\n"
+               "[--drop=P] [--delay=R] [--crash=party@round,...] "
+               "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
+               "[--stop-after=K]\n"
                "run 'explore list' to enumerate the registered protocols.\n";
   std::exit(2);
 }
@@ -120,11 +122,17 @@ int main(int argc, char** argv) {
       faults.max_delay = std::stoul(arg.substr(8));
     else if (arg.rfind("--crash=", 0) == 0)
       faults.crashes = sim::parse_crash_schedule(arg.substr(8));
-    else
+    else if (exec::apply_resilience_knob(arg)) {
+      // Checkpoint/resume, watchdog, retry and stop-after knobs land in the
+      // process-wide batch options that Runner snapshots at construction.
+    } else
       usage("unknown option '" + arg + "'");
   }
   if (samples == 0) usage("--samples must be at least 1");
+  if (exec::default_batch_options().resume && exec::default_batch_options().checkpoint_path.empty())
+    usage("--resume requires --checkpoint=PATH");
   if (!faults.empty()) exec::set_default_fault_plan(faults);
+  exec::install_signal_handlers();
 
   try {
     const auto proto = core::make_protocol(protocol_name);

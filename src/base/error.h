@@ -36,4 +36,12 @@ class UsageError : public Error {
   using Error::Error;
 };
 
+/// A cooperative watchdog deadline expired (exec::BatchOptions::rep_timeout):
+/// the round scheduler abandoned the execution at a safe boundary.  The
+/// engine quarantines the repetition instead of aborting the batch.
+class TimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
 }  // namespace simulcast

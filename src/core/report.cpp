@@ -94,6 +94,12 @@ std::string describe(const obs::PerfRecord& p) {
     os << " faults[dropped=" << r.traffic.dropped << " delayed=" << r.traffic.delayed
        << " blocked=" << r.traffic.blocked << " crashed=" << r.traffic.crashed << "]";
   }
+  // Likewise the resilience tail appears only when something noteworthy
+  // happened: an interrupted campaign or quarantined repetitions.
+  if (r.partial || !r.quarantine.empty()) {
+    os << " resilience[completed=" << r.completed << "/" << r.executions
+       << " quarantined=" << r.quarantine.size() << (r.partial ? " PARTIAL" : "") << "]";
+  }
   return os.str();
 }
 
@@ -127,9 +133,11 @@ exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) 
   out.executions = a.executions + b.executions;
   out.threads = std::max(a.threads, b.threads);
   out.wall_seconds = a.wall_seconds + b.wall_seconds;
-  out.throughput = out.wall_seconds > 0.0
-                       ? static_cast<double>(out.executions) / out.wall_seconds
-                       : 0.0;
+  out.completed = a.completed + b.completed;
+  out.partial = a.partial || b.partial;
+  out.quarantine = a.quarantine;
+  out.quarantine.insert(out.quarantine.end(), b.quarantine.begin(), b.quarantine.end());
+  out.throughput = exec::safe_throughput(out.completed, out.wall_seconds);
   out.total_rounds = a.total_rounds + b.total_rounds;
   out.traffic.messages = a.traffic.messages + b.traffic.messages;
   out.traffic.point_to_point = a.traffic.point_to_point + b.traffic.point_to_point;
@@ -170,6 +178,10 @@ int finish_experiment(const obs::ExperimentRecord& record) {
   // Records state the conditions they were measured under: drivers that
   // didn't set a plan inherit whatever --drop/--delay/--crash installed.
   if (full.faults.empty()) full.faults = exec::default_fault_plan();
+  // A graceful stop (SIGINT/SIGTERM or --stop-after) flushes the record in
+  // whatever state the drain left it; flag it so consumers know the
+  // verdicts rest on fewer samples than the setup advertises.
+  full.partial = full.partial || full.perf.report.partial || exec::shutdown_requested();
   if (full.perf.report.executions > 0)
     std::cout << describe(full.perf) << "\n";
   if (!full.metrics.empty()) std::cout << describe(full.metrics) << "\n";

@@ -66,6 +66,103 @@ struct Sample {
   sim::TrafficStats traffic;   ///< this execution's traffic
 };
 
+/// Reproducer for one quarantined repetition: everything needed to replay
+/// the failure in isolation (`rep` + `seed` pin the execution exactly; the
+/// reason says what the engine saw).  Follows the one-line reproducer
+/// convention of tests/props/prop.h.
+struct QuarantineRecord {
+  std::size_t rep = 0;        ///< slot index within the batch
+  std::uint64_t seed = 0;     ///< the execution seed handed to run_execution
+  std::string reason;         ///< deterministic failure description
+};
+
+/// Campaign-resilience knobs for one batch.  The defaults reproduce the
+/// legacy engine exactly: no checkpointing, no watchdog, and a throwing
+/// repetition aborts the batch (first exception out of parallel_for).
+/// `Runner()` snapshots `default_batch_options()` at construction, which is
+/// how the --checkpoint/--resume/--rep-timeout/--retries knobs reach every
+/// driver, tester and Session sweep without per-caller wiring.
+struct BatchOptions {
+  /// Checkpoint sidecar location ("" = checkpointing off).  A path ending
+  /// in ".ckpt" names the file exactly (single-batch campaigns); anything
+  /// else is a directory receiving one ckpt_<identity-hash>.ckpt per batch,
+  /// so multi-batch drivers checkpoint each batch independently.
+  std::string checkpoint_path;
+  /// Load the checkpoint (verifying its identity tuple), restore completed
+  /// slots verbatim and execute only the rest.  By the purity contract the
+  /// final samples are bit-identical to an uninterrupted run.
+  bool resume = false;
+  /// Per-repetition wall-clock deadline in seconds (0 = no watchdog).  An
+  /// expired repetition is abandoned at its next round boundary and
+  /// quarantined; the batch keeps going.
+  double rep_timeout = 0.0;
+  /// Bounded retries (exponential backoff) for repetitions failing with
+  /// transient errors (std::bad_alloc, I/O).  Only consulted when
+  /// `quarantine` is on.
+  int retries = 0;
+  /// Capture failing repetitions as QuarantineRecords (reproducer seed into
+  /// the experiment record) instead of aborting the batch.  Off by default:
+  /// the legacy contract — exceptions propagate — is what the existing
+  /// tests and callers rely on.  configure_threads turns it on whenever
+  /// --retries or --rep-timeout is given.
+  bool quarantine = false;
+  /// Checkpoint flush cadence in completed slots (also flushed at shutdown
+  /// and on batch completion, so a graceful stop never loses work).
+  std::size_t checkpoint_every = 16;
+};
+
+/// Process-wide default BatchOptions (what Runner() snapshots); installed
+/// by the --checkpoint/--resume/--rep-timeout/--retries knobs.
+[[nodiscard]] const BatchOptions& default_batch_options();
+
+/// Installs `options` as the process-wide default (a default-constructed
+/// value clears it).  Not thread-safe: call from main before spawning
+/// batches, which is what configure_threads does.
+void set_default_batch_options(BatchOptions options);
+
+/// Recognizes and applies one resilience knob — --checkpoint=PATH,
+/// --resume, --rep-timeout=S, --retries=N, --stop-after=K — installing it
+/// into the process-default BatchOptions (or arming the stop-after
+/// counter).  Returns false when `arg` is none of them; exits 2 on a
+/// malformed value.  configure_threads routes every argument through this;
+/// examples/explore's hand-rolled parser reuses it.
+bool apply_resilience_knob(const std::string& arg);
+
+/// ---- graceful shutdown -------------------------------------------------
+/// SIGINT/SIGTERM flip a cooperative stop flag; workers drain at the next
+/// slot boundary, the engine flushes a checkpoint for every in-flight
+/// batch, and core::finish_experiment emits a partial record.  A second
+/// SIGINT restores the default disposition (an insistent ^C^C still kills).
+
+/// True once a graceful stop was requested (signal, stop-after trigger, or
+/// request_shutdown()).
+[[nodiscard]] bool shutdown_requested();
+
+/// Requests a graceful stop — exactly what the signal handler does.
+void request_shutdown();
+
+/// Clears the stop flag and the stop-after trigger, re-arming the process
+/// for the next campaign (used by resume loops and tests).
+void clear_shutdown();
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent).  configure_threads
+/// calls this, so every driver exits cleanly on ^C with a flushed partial
+/// record plus the checkpoint needed to resume.
+void install_signal_handlers();
+
+/// Arms a deterministic self-interrupt: request_shutdown() fires after
+/// `completed` repetitions finish process-wide (0 disarms).  Drives the
+/// --stop-after knob — the same cooperative stop path as a signal, at a
+/// reproducible point, which is what the resume smoke and the interrupt
+/// property tests exercise.
+void set_stop_after(std::size_t completed);
+
+/// Executions-per-second with the 0/0 guard: tiny batches on coarse clocks
+/// can measure wall_seconds == 0.0, and inf/NaN would poison the JSON sink
+/// (non-finite doubles serialize as null).  Shared by the engine and
+/// core::merge so no throughput is ever computed unguarded.
+[[nodiscard]] double safe_throughput(std::size_t executions, double wall_seconds);
+
 /// Per-phase wall-clock breakdown of a batch: where the time actually went.
 /// `sampling` and `execution` are stamped by the Runner; `evaluation` is
 /// accumulated by whoever runs a tester over the samples (the bench drivers
@@ -87,6 +184,11 @@ struct BatchReport {
   std::size_t total_rounds = 0;  ///< sum of per-execution round counts
   sim::TrafficStats traffic;     ///< sums over all executions
   PhaseSeconds phases;           ///< per-phase wall-clock breakdown
+  // Campaign-resilience accounting (schema v4).  For a legacy batch:
+  // completed == executions, quarantine empty, partial false.
+  std::size_t completed = 0;     ///< slots that finished (run, or restored on resume)
+  bool partial = false;          ///< a graceful stop left pending slots behind
+  std::vector<QuarantineRecord> quarantine;  ///< reproducers for failed reps
 };
 
 struct BatchResult {
@@ -104,14 +206,19 @@ struct BatchResult {
 void set_default_threads(std::size_t threads);
 
 /// Scans argv for the uniform knobs every bench driver and example exposes
-/// — --threads=N, --json=PATH, --trace=PATH, plus the fault knobs
-/// --drop=P, --delay=R, --crash=party@round[,party@round...] (combined into
-/// one process-default FaultPlan) — installs them as the process defaults
-/// when present, and returns the effective thread default.
+/// — --threads=N, --json=PATH, --trace=PATH, the fault knobs --drop=P,
+/// --delay=R, --crash=party@round[,party@round...] (combined into one
+/// process-default FaultPlan), and the resilience knobs --checkpoint=PATH,
+/// --resume, --rep-timeout=S, --retries=N, --stop-after=K (installed as the
+/// process-default BatchOptions) — installs them as the process defaults
+/// when present, installs the SIGINT/SIGTERM graceful-shutdown handlers,
+/// and returns the effective thread default.
 /// Parsing is strict: any other argument exits 2 with a usage line (a
 /// silently ignored flag hides a mistyped knob), except arguments matching
 /// one of the `pass_through` prefixes, which are left for the caller's own
-/// parser (the micro benches pass {"--benchmark_"}).
+/// parser (the micro benches pass {"--benchmark_"}).  A repeated knob also
+/// exits 2: silently last-winning on "--threads=2 --threads=8" hides which
+/// of two contradictory widths the campaign actually ran with.
 std::size_t configure_threads(int argc, char** argv,
                               std::initializer_list<std::string_view> pass_through = {});
 
@@ -181,9 +288,17 @@ void parallel_for(std::size_t count, std::size_t threads,
 class Runner {
  public:
   /// `threads` = 0 means "use default_threads() at construction time".
+  /// The resilience knobs snapshot default_batch_options() the same way;
+  /// set_options() overrides them for this Runner (tests, embedders).
   explicit Runner(std::size_t threads = 0);
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+
+  [[nodiscard]] const BatchOptions& options() const noexcept { return options_; }
+  Runner& set_options(BatchOptions options) {
+    options_ = std::move(options);
+    return *this;
+  }
 
   /// Runs `count` executions with inputs drawn from `ensemble` (drawn
   /// serially up front, in repetition order, from master.fork("inputs")).
@@ -202,6 +317,7 @@ class Runner {
 
  private:
   std::size_t threads_;
+  BatchOptions options_;
 };
 
 }  // namespace simulcast::exec

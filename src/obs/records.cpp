@@ -117,7 +117,18 @@ void append(Json& json, const PerfRecord& p) {
       .member("threads", std::uint64_t{r.threads})
       .member("wall_seconds", r.wall_seconds)
       .member("throughput", r.throughput)
-      .member("total_rounds", std::uint64_t{r.total_rounds});
+      .member("total_rounds", std::uint64_t{r.total_rounds})
+      .member("completed", std::uint64_t{r.completed})
+      .member("partial", r.partial);
+  json.key("quarantine").array_begin();
+  for (const exec::QuarantineRecord& q : r.quarantine) {
+    json.object_begin()
+        .member("rep", std::uint64_t{q.rep})
+        .member("seed", q.seed)
+        .member("reason", q.reason)
+        .object_end();
+  }
+  json.array_end();
   json.key("traffic")
       .object_begin()
       .member("messages", std::uint64_t{r.traffic.messages})
@@ -169,6 +180,7 @@ void append(Json& json, const ExperimentRecord& r) {
       .member("paper_claim", r.paper_claim)
       .member("setup", r.setup)
       .member("reproduced", r.reproduced)
+      .member("partial", r.partial)
       .member("detail", r.detail);
   json.key("metadata")
       .object_begin()

@@ -29,7 +29,11 @@ namespace simulcast::obs {
 /// v3: fault injection — "traffic" gained the dropped/delayed/blocked/
 /// crashed counters (zero for fault-free runs) and the record gained a
 /// top-level "faults" object describing the plan in force.
-inline constexpr std::uint64_t kSchemaVersion = 3;
+/// v4: campaign resilience — the record gained a top-level "partial" flag
+/// (a graceful stop flushed it before every repetition finished) and "perf"
+/// gained completed/partial plus the "quarantine" reproducer array (rep,
+/// seed, reason per quarantined repetition).
+inline constexpr std::uint64_t kSchemaVersion = 4;
 
 /// Fixed-precision decimal formatting shared by tables and detail strings
 /// (core::fmt delegates here so text and records agree digit for digit).
@@ -87,6 +91,12 @@ struct ExperimentRecord {
   /// core::finish_experiment fills it from exec::default_fault_plan(), so a
   /// record always states the conditions it was measured under.
   sim::FaultPlan faults;
+  /// Schema v4: true when the record was flushed by a graceful stop before
+  /// every repetition finished — verdicts then rest on fewer samples than
+  /// the setup line advertises.  Left false by drivers:
+  /// core::finish_experiment derives it from the merged perf report and the
+  /// process stop flag.
+  bool partial = false;
 };
 
 /// Serializers.  append() writes the record as the next JSON value (the

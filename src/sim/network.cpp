@@ -269,7 +269,20 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     }
   };
 
+  // Watchdog: a round boundary is the only point where abandoning the
+  // execution leaves no half-mutated machine state behind, so the deadline
+  // is polled exactly there (and before the final delivery).  A repetition
+  // stuck *inside* one round is out of the watchdog's reach by design; the
+  // protocols' rounds are bounded compute.
+  const auto check_deadline = [&](Round at) {
+    if (config.deadline == std::chrono::steady_clock::time_point{}) return;
+    if (std::chrono::steady_clock::now() < config.deadline) return;
+    throw TimeoutError("run_execution: watchdog deadline expired at round boundary " +
+                       std::to_string(at) + " of " + std::to_string(total_rounds));
+  };
+
   for (Round round = 0; round < total_rounds; ++round) {
+    check_deadline(round);
     obs::TraceSpan round_span("round");
     round_span.arg("round", round);
     const TrafficStats traffic_before = result.traffic;
@@ -363,6 +376,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   }
 
   // Final delivery.
+  check_deadline(total_rounds);
   apply_crashes(total_rounds);
   for (PartyId id = 0; id < n; ++id) {
     if (!machines[id]) continue;

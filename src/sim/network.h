@@ -23,6 +23,7 @@
 // the whole execution down.
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct ExecutionConfig {
   /// Deterministic fault injection (sim/faults.h).  The default (empty)
   /// plan leaves the execution byte-identical to a faultless run.
   FaultPlan faults;
+  /// Cooperative watchdog deadline (exec::BatchOptions::rep_timeout).  When
+  /// set, the scheduler polls the wall clock at every round boundary — the
+  /// only safe abandonment point, since mid-round state is unrecoverable —
+  /// and throws TimeoutError once past it.  The default (epoch) disables
+  /// the check entirely, so watchdog-free executions never read the clock.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 struct TrafficStats {

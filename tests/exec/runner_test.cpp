@@ -4,11 +4,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 #include "base/error.h"
 #include "core/registry.h"
+#include "core/report.h"
 #include "core/session.h"
 #include "crypto/commitment.h"
 #include "obs/metrics.h"
@@ -343,6 +348,132 @@ TEST(SessionBatch, MatchesSerialSessions) {
     EXPECT_EQ(batch.results[i].traffic.payload_bytes, one.traffic.payload_bytes) << i;
     EXPECT_EQ(batch.results[i].traffic.delivered_bytes, one.traffic.delivered_bytes) << i;
   }
+}
+
+// A legacy batch (default options) reports full resilience accounting:
+// every slot completed, nothing quarantined, not partial.
+TEST(Runner, LegacyBatchReportsFullCompletion) {
+  const auto proto = core::make_protocol("gennaro");
+  const RunSpec spec = spec_for(*proto, 4);
+  const auto ens = dist::make_uniform(4);
+  const auto batch = testers::collect_batch(spec, *ens, 6, 3, 2);
+  EXPECT_EQ(batch.report.completed, batch.report.executions);
+  EXPECT_FALSE(batch.report.partial);
+  EXPECT_TRUE(batch.report.quarantine.empty());
+}
+
+// Throughput's 0/0 guard: coarse clocks can measure wall_seconds == 0.0 for
+// a tiny batch, and inf/NaN would poison the JSON sink (non-finite doubles
+// serialize as null).  Both the engine's helper and core::merge must report
+// 0, never a non-finite value.
+TEST(SafeThroughput, ZeroWallClockReportsZeroNotInf) {
+  EXPECT_DOUBLE_EQ(safe_throughput(100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_throughput(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_throughput(10, 2.0), 5.0);
+  EXPECT_TRUE(std::isfinite(safe_throughput(1, 1e-300)));
+
+  BatchReport a;
+  a.executions = 50;
+  a.completed = 50;
+  a.wall_seconds = 0.0;
+  BatchReport b;
+  b.executions = 50;
+  b.completed = 50;
+  b.wall_seconds = 0.0;
+  const BatchReport merged = core::merge(a, b);
+  EXPECT_EQ(merged.executions, 100u);
+  EXPECT_DOUBLE_EQ(merged.throughput, 0.0);
+  EXPECT_TRUE(std::isfinite(merged.throughput));
+}
+
+// merge() must combine the v4 resilience accounting, not drop it: completed
+// adds, partial ORs, quarantine concatenates.
+TEST(Merge, CombinesResilienceAccounting) {
+  BatchReport a;
+  a.executions = 10;
+  a.completed = 9;
+  a.partial = false;
+  a.quarantine.push_back({3, 77, "timeout: stuck"});
+  BatchReport b;
+  b.executions = 10;
+  b.completed = 6;
+  b.partial = true;
+  const BatchReport merged = core::merge(a, b);
+  EXPECT_EQ(merged.completed, 15u);
+  EXPECT_TRUE(merged.partial);
+  ASSERT_EQ(merged.quarantine.size(), 1u);
+  EXPECT_EQ(merged.quarantine[0].rep, 3u);
+  EXPECT_EQ(merged.quarantine[0].seed, 77u);
+}
+
+// A repeated knob must exit 2 with the usage line: silently last-winning on
+// "--threads=2 --threads=8" hides which of two contradictory widths the
+// campaign actually ran with.  Same rule for every knob class, including
+// the resilience ones.
+TEST(ConfigureThreadsDeathTest, DuplicateKnobExitsWithUsage) {
+  const auto run = [](std::vector<const char*> args) {
+    args.insert(args.begin(), "driver");
+    (void)configure_threads(static_cast<int>(args.size()), const_cast<char**>(args.data()));
+  };
+  EXPECT_EXIT(run({"--threads=2", "--threads=8"}), testing::ExitedWithCode(2),
+              "duplicate argument '--threads'");
+  EXPECT_EXIT(run({"--json=a.json", "--json=b.json"}), testing::ExitedWithCode(2),
+              "duplicate argument '--json'");
+  EXPECT_EXIT(run({"--retries=1", "--retries=2"}), testing::ExitedWithCode(2),
+              "duplicate argument '--retries'");
+  EXPECT_EXIT(run({"--resume", "--checkpoint=c.ckpt", "--resume"}), testing::ExitedWithCode(2),
+              "duplicate argument '--resume'");
+  // Different knobs on one line stay legal (exercised in the child so the
+  // installed defaults don't leak into this process).
+  EXPECT_EXIT(
+      {
+        run({"--threads=2", "--json=a.json"});
+        std::exit(42);
+      },
+      testing::ExitedWithCode(42), "");
+}
+
+TEST(ConfigureThreadsDeathTest, ResumeRequiresCheckpoint) {
+  const auto run = [](std::vector<const char*> args) {
+    args.insert(args.begin(), "driver");
+    (void)configure_threads(static_cast<int>(args.size()), const_cast<char**>(args.data()));
+  };
+  EXPECT_EXIT(run({"--resume"}), testing::ExitedWithCode(2), "--resume requires --checkpoint");
+}
+
+// parallel_for's documented error contract: when several workers throw, the
+// FIRST CAPTURED EXCEPTION BY WORKER INDEX is rethrown.  A barrier inside
+// the body makes every worker throw on the same round (each of the 4
+// workers holds exactly one of the 4 indices, so none can finish early),
+// turning the usually racy multi-throw case deterministic: the rethrown
+// message must be worker 0's, which runs on trace lane 1.
+TEST(ParallelFor, FirstExceptionByWorkerIndexWins) {
+  constexpr std::size_t kWorkers = 4;
+  std::atomic<std::size_t> arrived{0};
+  try {
+    parallel_for(kWorkers, kWorkers, [&](std::size_t) {
+      arrived.fetch_add(1);
+      while (arrived.load() < kWorkers) std::this_thread::yield();
+      throw std::runtime_error("boom from lane " + std::to_string(obs::thread_lane()));
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom from lane 1");
+  }
+}
+
+// ScopedPhase accounts its elapsed time even when the timed body throws —
+// phase totals must not silently lose the time spent in failed work.
+TEST(ScopedPhase, AccumulatesElapsedWhenBodyThrows) {
+  double slot = 0.0;
+  EXPECT_THROW(
+      {
+        const ScopedPhase timer(slot);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        throw std::runtime_error("phase body failed");
+      },
+      std::runtime_error);
+  EXPECT_GT(slot, 0.0);
 }
 
 }  // namespace

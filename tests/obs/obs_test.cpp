@@ -104,7 +104,7 @@ TEST(Json, BuilderRejectsMalformedDocuments) {
 ExperimentRecord golden_record() {
   ExperimentRecord rec;
   rec.id = "E0/golden";
-  rec.paper_claim = "schema fixture: field layout of record schema v3";
+  rec.paper_claim = "schema fixture: field layout of record schema v4";
   rec.setup = "hand-built record with \"quotes\", back\\slash and tab\there";
   rec.reproduced = true;
   rec.detail = "2 cells, 1 statistic + 1 check";
@@ -142,6 +142,13 @@ ExperimentRecord golden_record() {
   rec.perf.report.phases.sampling = 0.125;
   rec.perf.report.phases.execution = 0.25;
   rec.perf.report.phases.evaluation = 0.0625;
+  // Campaign resilience (schema v4): an interrupted batch — 30 of 32 slots
+  // done, one quarantined with its reproducer seed, one left pending.
+  rec.perf.report.completed = 30;
+  rec.perf.report.partial = true;
+  rec.perf.report.quarantine.push_back(
+      {17, 0xDEADBEEFULL, "timeout: run_execution: watchdog deadline expired"});
+  rec.partial = true;
 
   // Hand-built registry snapshot (schema v2): 32 executions of 3 rounds
   // each, matching the perf block above.
