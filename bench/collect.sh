@@ -28,16 +28,27 @@
 # canonicalization (timing fields and the metrics block stripped — wall
 # clock legitimately differs; every deterministic field must not), and no
 # checkpoint file may survive a completed campaign.
+#
+# With --socket, each driver instead exercises the transport seam (DESIGN.md
+# section 11): run once on the default in-process backend and once with
+# --transport=socket, requiring (a) both runs succeed, (b) the two records
+# are identical after canonicalization — same verdicts, cells, traffic and
+# wire bytes, because the backend moves bytes without changing what an
+# execution computes — and (c) the socket record's metrics block shows real
+# kernel traffic (a nonzero net.bytes_on_wire counter).
 set -u
 
 want_trace=0
 want_faults=0
 want_resume=0
-while [ "${1:-}" = "--trace" ] || [ "${1:-}" = "--faults" ] || [ "${1:-}" = "--resume" ]; do
+want_socket=0
+while [ "${1:-}" = "--trace" ] || [ "${1:-}" = "--faults" ] || [ "${1:-}" = "--resume" ] ||
+      [ "${1:-}" = "--socket" ]; do
   case $1 in
     --trace) want_trace=1 ;;
     --faults) want_faults=1 ;;
     --resume) want_resume=1 ;;
+    --socket) want_socket=1 ;;
   esac
   shift
 done
@@ -45,7 +56,7 @@ drop_rate=${FAULT_DROP:-0.05}
 resume_stop=${RESUME_STOP:-3}
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 [--trace] [--faults] [--resume] OUT_DIR [DRIVER...]" >&2
+  echo "usage: $0 [--trace] [--faults] [--resume] [--socket] OUT_DIR [DRIVER...]" >&2
   exit 2
 fi
 
@@ -121,6 +132,93 @@ if baseline != resumed:
     sys.exit(1)
 EOF
 }
+
+# Socket-vs-inproc record equality: like check_resumed_record, but the
+# metadata block is stripped too — it names the transport backend, the one
+# field the two runs legitimately disagree on.
+check_socket_pair() {
+  python3 - "$1" "$2" 2>&1 <<'EOF'
+import json, sys
+
+def canon(node):
+    if isinstance(node, dict):
+        return {k: canon(v) for k, v in node.items()
+                if k not in ("metrics", "phases", "wall_seconds", "throughput", "metadata")}
+    if isinstance(node, list):
+        return [canon(v) for v in node]
+    return node
+
+inproc = canon(json.load(open(sys.argv[1])))
+socket = canon(json.load(open(sys.argv[2])))
+if inproc != socket:
+    for key in sorted(set(inproc) | set(socket)):
+        if inproc.get(key) != socket.get(key):
+            print(f"  field {key!r} differs:\n    inproc: {inproc.get(key)!r}\n    socket: {socket.get(key)!r}")
+    sys.exit(1)
+EOF
+}
+
+# The socket record must prove bytes really moved through the kernel: its
+# metrics block carries a nonzero net.bytes_on_wire counter and names the
+# socket backend in metadata.
+check_socket_metrics() {
+  python3 - "$1" 2>&1 <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+assert rec["metadata"]["transport"] == "socket", \
+    f'metadata.transport is {rec["metadata"]["transport"]!r}, not "socket"'
+bytes_on_wire = rec["metrics"]["counters"].get("net.bytes_on_wire", 0)
+assert bytes_on_wire > 0, "net.bytes_on_wire is zero: no frame crossed the kernel"
+EOF
+}
+
+if [ "$want_socket" -eq 1 ]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "collect.sh: --socket needs python3 for record comparison" >&2
+    exit 2
+  fi
+  failures=0
+  for driver in "${drivers[@]}"; do
+    name=$(basename "$driver")
+    inproc_dir=$out_dir/inproc_$name
+    socket_dir=$out_dir/socket_$name
+    rm -rf "$inproc_dir" "$socket_dir"
+    mkdir -p "$inproc_dir" "$socket_dir"
+
+    if ! "$driver" --json="$inproc_dir"; then
+      echo "collect.sh: FAIL $name (in-process run exited nonzero)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! "$driver" --json="$socket_dir" --transport=socket; then
+      echo "collect.sh: FAIL $name (--transport=socket run exited nonzero)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    pair_ok=1
+    for inproc in "$inproc_dir"/BENCH_*.json; do
+      socket=$socket_dir/$(basename "$inproc")
+      if [ ! -f "$socket" ]; then
+        echo "collect.sh: FAIL $name (socket run wrote no $(basename "$inproc"))" >&2
+        pair_ok=0
+        continue
+      fi
+      if ! check_socket_pair "$inproc" "$socket"; then
+        echo "collect.sh: FAIL $name (socket record $(basename "$inproc") differs from in-process)" >&2
+        pair_ok=0
+      fi
+      if ! check_socket_metrics "$socket"; then
+        echo "collect.sh: FAIL $name (socket record shows no kernel traffic)" >&2
+        pair_ok=0
+      fi
+    done
+    [ "$pair_ok" -eq 1 ] || failures=$((failures + 1))
+  done
+  count=${#drivers[@]}
+  echo "collect.sh: $((count - failures))/$count drivers verdict-identical across transports, records in $out_dir"
+  [ "$failures" -eq 0 ]
+  exit
+fi
 
 if [ "$want_resume" -eq 1 ]; then
   if ! command -v python3 >/dev/null 2>&1; then

@@ -35,6 +35,7 @@
 #include "core/registry.h"
 #include "core/report.h"
 #include "exec/runner.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
@@ -48,7 +49,7 @@ using namespace simulcast;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: explore <protocol> <adversary> <distribution> "
                "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1] "
-               "[--json=PATH] [--trace=PATH] "
+               "[--transport=inproc|socket] [--json=PATH] [--trace=PATH] "
                "[--drop=P] [--delay=R] [--crash=party@round,...] "
                "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
                "[--stop-after=K]\n"
@@ -112,6 +113,13 @@ int main(int argc, char** argv) {
       seed = std::stoull(arg.substr(7));
     else if (arg.rfind("--threads=", 0) == 0)
       exec::set_default_threads(std::stoul(arg.substr(10)));
+    else if (arg.rfind("--transport=", 0) == 0) {
+      try {
+        net::set_default_transport_kind(net::parse_transport_kind(arg.substr(12)));
+      } catch (const UsageError& e) {
+        usage(e.what());
+      }
+    }
     else if (arg.rfind("--json=", 0) == 0)
       exec::set_default_json_path(arg.substr(7));
     else if (arg.rfind("--trace=", 0) == 0)

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/error.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -84,7 +85,8 @@ std::string describe(const obs::PerfRecord& p) {
   os << "[exec] executions=" << r.executions << " threads=" << r.threads << " wall="
      << fmt(r.wall_seconds, 3) << "s throughput=" << fmt(r.throughput, 1)
      << " exec/s rounds=" << r.total_rounds << " messages=" << r.traffic.messages
-     << " payload=" << r.traffic.payload_bytes << "B phases[sample="
+     << " payload=" << r.traffic.payload_bytes << "B wire=" << r.traffic.wire_bytes
+     << "B phases[sample="
      << fmt(r.phases.sampling, 3) << "s exec=" << fmt(r.phases.execution, 3)
      << "s eval=" << fmt(r.phases.evaluation, 3) << "s]";
   // Only faulty runs print the fault tail, keeping fault-free output
@@ -144,6 +146,8 @@ exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) 
   out.traffic.broadcasts = a.traffic.broadcasts + b.traffic.broadcasts;
   out.traffic.payload_bytes = a.traffic.payload_bytes + b.traffic.payload_bytes;
   out.traffic.delivered_bytes = a.traffic.delivered_bytes + b.traffic.delivered_bytes;
+  out.traffic.wire_bytes = a.traffic.wire_bytes + b.traffic.wire_bytes;
+  out.traffic.wire_delivered_bytes = a.traffic.wire_delivered_bytes + b.traffic.wire_delivered_bytes;
   out.traffic.dropped = a.traffic.dropped + b.traffic.dropped;
   out.traffic.delayed = a.traffic.delayed + b.traffic.delayed;
   out.traffic.blocked = a.traffic.blocked + b.traffic.blocked;
@@ -178,6 +182,8 @@ int finish_experiment(const obs::ExperimentRecord& record) {
   // Records state the conditions they were measured under: drivers that
   // didn't set a plan inherit whatever --drop/--delay/--crash installed.
   if (full.faults.empty()) full.faults = exec::default_fault_plan();
+  if (full.transport.empty())
+    full.transport = std::string(net::transport_kind_name(net::default_transport_kind()));
   // A graceful stop (SIGINT/SIGTERM or --stop-after) flushes the record in
   // whatever state the drain left it; flag it so consumers know the
   // verdicts rest on fewer samples than the setup advertises.

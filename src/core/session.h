@@ -28,6 +28,7 @@ struct SessionResult {
 
   [[nodiscard]] std::size_t messages() const { return traffic.messages; }
   [[nodiscard]] std::size_t payload_bytes() const { return traffic.payload_bytes; }
+  [[nodiscard]] std::size_t wire_bytes() const { return traffic.wire_bytes; }
 };
 
 /// A repetition sweep's results plus the engine's batch accounting.

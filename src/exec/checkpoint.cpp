@@ -13,7 +13,10 @@
 namespace simulcast::exec {
 namespace {
 
-constexpr std::string_view kMagic = "simulcast-checkpoint v1";
+// v2 added wire_bytes / wire_delivered_bytes to each slot's traffic fields
+// (the transport refactor's serialized-byte accounting).  A v1 sidecar is
+// rejected as unreadable rather than resumed with zeroed wire counts.
+constexpr std::string_view kMagic = "simulcast-checkpoint v2";
 
 // SplitMix64 finalizer: one cheap, well-mixed permutation per lane so the
 // accumulator is order-sensitive and avalanche-complete.
@@ -177,9 +180,9 @@ void write_checkpoint(const std::string& resolved_path, const CheckpointData& da
       out << "slot " << record.slot << ' ' << bits_token(s.inputs) << ' '
           << bits_token(s.announced) << ' ' << (s.consistent ? 1 : 0) << ' ' << s.rounds << ' '
           << t.messages << ' ' << t.point_to_point << ' ' << t.broadcasts << ' '
-          << t.payload_bytes << ' ' << t.delivered_bytes << ' ' << t.dropped << ' ' << t.delayed
-          << ' ' << t.blocked << ' ' << t.crashed << ' ' << bytes_token(s.adversary_output)
-          << "\n";
+          << t.payload_bytes << ' ' << t.delivered_bytes << ' ' << t.wire_bytes << ' '
+          << t.wire_delivered_bytes << ' ' << t.dropped << ' ' << t.delayed << ' ' << t.blocked
+          << ' ' << t.crashed << ' ' << bytes_token(s.adversary_output) << "\n";
     }
     for (const QuarantineRecord& q : data.quarantined) {
       out << "quarantine " << q.rep << ' ' << q.seed << ' ' << q.reason << "\n";
@@ -255,8 +258,9 @@ std::optional<CheckpointData> load_checkpoint(const std::string& resolved_path) 
       std::string inputs_f, announced_f, adversary_f;
       int consistent = 0;
       fields >> record.slot >> inputs_f >> announced_f >> consistent >> s.rounds >> t.messages >>
-          t.point_to_point >> t.broadcasts >> t.payload_bytes >> t.delivered_bytes >> t.dropped >>
-          t.delayed >> t.blocked >> t.crashed >> adversary_f;
+          t.point_to_point >> t.broadcasts >> t.payload_bytes >> t.delivered_bytes >>
+          t.wire_bytes >> t.wire_delivered_bytes >> t.dropped >> t.delayed >> t.blocked >>
+          t.crashed >> adversary_f;
       if (!fields || (consistent != 0 && consistent != 1)) {
         corrupt(resolved_path, "malformed slot line");
       }

@@ -14,6 +14,7 @@
 #include "base/error.h"
 #include "broadcast/parallel_broadcast.h"
 #include "exec/checkpoint.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -381,6 +382,8 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
     out.report.traffic.broadcasts += s.traffic.broadcasts;
     out.report.traffic.payload_bytes += s.traffic.payload_bytes;
     out.report.traffic.delivered_bytes += s.traffic.delivered_bytes;
+    out.report.traffic.wire_bytes += s.traffic.wire_bytes;
+    out.report.traffic.wire_delivered_bytes += s.traffic.wire_delivered_bytes;
     out.report.traffic.dropped += s.traffic.dropped;
     out.report.traffic.delayed += s.traffic.delayed;
     out.report.traffic.blocked += s.traffic.blocked;
@@ -530,8 +533,8 @@ std::size_t configure_threads(int argc, char** argv,
   const auto usage_exit = [program](const std::string& detail) {
     std::fprintf(stderr,
                  "error: %s\n"
-                 "usage: %s [--threads=N] [--json=PATH] [--trace=PATH] "
-                 "[--drop=P] [--delay=R] [--crash=party@round,...] "
+                 "usage: %s [--threads=N] [--transport=inproc|socket] [--json=PATH] "
+                 "[--trace=PATH] [--drop=P] [--delay=R] [--crash=party@round,...] "
                  "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
                  "[--stop-after=K]\n",
                  detail.c_str(), program);
@@ -559,6 +562,14 @@ std::size_t configure_threads(int argc, char** argv,
         std::exit(2);
       }
       set_default_threads(static_cast<std::size_t>(value));
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      check_duplicate(arg);
+      try {
+        net::set_default_transport_kind(net::parse_transport_kind(arg.substr(12)));
+      } catch (const UsageError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       check_duplicate(arg);
       const std::string path = arg.substr(7);

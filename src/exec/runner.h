@@ -206,7 +206,9 @@ struct BatchResult {
 void set_default_threads(std::size_t threads);
 
 /// Scans argv for the uniform knobs every bench driver and example exposes
-/// — --threads=N, --json=PATH, --trace=PATH, the fault knobs --drop=P,
+/// — --threads=N, --transport=inproc|socket (installed as the
+/// process-default net transport backend), --json=PATH, --trace=PATH, the
+/// fault knobs --drop=P,
 /// --delay=R, --crash=party@round[,party@round...] (combined into one
 /// process-default FaultPlan), and the resilience knobs --checkpoint=PATH,
 /// --resume, --rep-timeout=S, --retries=N, --stop-after=K (installed as the

@@ -1,0 +1,114 @@
+// The pluggable transport seam under the round scheduler.
+//
+// The scheduler (sim/network.cpp) decides *what* is delivered *when*: it
+// applies the FaultPlan to each outgoing message, assigns the delivery
+// slot, and filters partitioned links at delivery.  A Transport decides
+// *how* the bytes move between those two points.  The contract is a
+// slot-addressed mailbox:
+//
+//   open(n, slots)        once per execution, before any traffic;
+//   submit(m, slot)       hand over one message for delivery slot `slot`
+//                         (the scheduler only submits to slots it has not
+//                         collected yet);
+//   collect(slot)         every message submitted for `slot`, in
+//                         submission order — the ordering guarantee that
+//                         makes delivery deterministic on every backend;
+//   close()               release resources (idempotent; also run by the
+//                         destructor).
+//
+// Determinism per backend (DESIGN.md section 11):
+//   - InProcessTransport (the default) is the extracted body of the old
+//     pending-delivery vectors: a submit is a vector push, a collect is a
+//     vector move.  Executions are bit-identical to the pre-transport
+//     scheduler — the purity contract, exec::Runner checkpoints and every
+//     golden output are unchanged.
+//   - SocketTransport (net/socket.h) moves every frame through per-party
+//     loopback TCP endpoints on an epoll event loop.  Frames carry a
+//     submission sequence number and collect() reorders by it, so party
+//     outputs and verdicts are identical to the in-process backend;
+//     only wall-clock timing (and therefore timing metrics) varies.
+//
+// Every backend accounts WireStats using the net/wire.h encoding, so
+// "bytes on wire" means the same thing whether or not a kernel was
+// involved: the in-process backend prices frames with encoded_size(),
+// the socket backend counts the bytes it actually wrote.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/message.h"
+
+namespace simulcast::net {
+
+enum class TransportKind {
+  kInProcess,  ///< slot-indexed in-memory mailboxes (default; bit-identical)
+  kSocket,     ///< loopback TCP endpoints + epoll event loop (verdict-identical)
+};
+
+/// "inproc" / "socket" — the spelling of the --transport= knob.
+[[nodiscard]] std::string_view transport_kind_name(TransportKind kind) noexcept;
+
+/// Parses a --transport= value; throws UsageError on anything else.
+[[nodiscard]] TransportKind parse_transport_kind(std::string_view text);
+
+/// Process-wide default backend, TransportKind::kInProcess unless the
+/// --transport= knob (exec::configure_threads) installed another.  Read by
+/// sim::ExecutionConfig's default member initializer, so every execution
+/// that does not explicitly pick a backend follows the knob.
+[[nodiscard]] TransportKind default_transport_kind() noexcept;
+
+/// Installs the process-wide default.  Not thread-safe: call from main
+/// before spawning batches, which is what configure_threads does.
+void set_default_transport_kind(TransportKind kind) noexcept;
+
+/// Per-execution transport accounting.  Byte/frame counts are
+/// deterministic (pure functions of the traffic); the *_us timings are
+/// wall-clock and vary run to run, like every latency metric.
+struct WireStats {
+  std::size_t frames = 0;           ///< frames moved through the transport
+  std::size_t bytes_on_wire = 0;    ///< serialized frame bytes (wire encoding)
+  std::uint64_t serialize_us = 0;   ///< time spent encoding frames
+  std::uint64_t deserialize_us = 0; ///< time spent decoding frames
+  std::uint64_t flush_us = 0;       ///< cumulative collect() latency
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const noexcept = 0;
+
+  /// Prepares mailboxes for an n-party execution with `slots` delivery
+  /// slots (rounds(n) + 1: one per round plus the final delivery).
+  virtual void open(std::size_t n, std::size_t slots) = 0;
+
+  /// Hands one message to the transport for delivery slot `slot`.
+  virtual void submit(sim::Message m, std::size_t slot) = 0;
+
+  /// Returns every message submitted for `slot`, in submission order.
+  /// Each slot is collected at most once.
+  [[nodiscard]] virtual std::vector<sim::Message> collect(std::size_t slot) = 0;
+
+  /// Releases transport resources (idempotent).
+  virtual void close() {}
+
+  [[nodiscard]] const WireStats& stats() const noexcept { return stats_; }
+
+ protected:
+  WireStats stats_;
+};
+
+/// Backend factory.  The in-process backend is allocation-cheap; the
+/// socket backend opens its endpoints lazily in open().
+[[nodiscard]] std::unique_ptr<Transport> make_transport(TransportKind kind);
+
+/// Feeds the net.* registry metrics (bytes on wire, frames, serialize /
+/// deserialize time, flush latency) from one execution's stats.  Called by
+/// the scheduler once per execution; a transport that moved no frames
+/// records nothing.
+void record_transport_metrics(const WireStats& stats);
+
+}  // namespace simulcast::net

@@ -1,0 +1,129 @@
+#include "net/wire.h"
+
+#include <limits>
+#include <string>
+
+#include "base/error.h"
+
+namespace simulcast::net {
+
+namespace {
+
+std::uint32_t checked_u32(std::size_t value, const char* what) {
+  if (value > std::numeric_limits<std::uint32_t>::max())
+    throw UsageError(std::string("wire: ") + what + " exceeds the u32 framing limit");
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void WireWriter::raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), bytes, bytes + size);
+}
+
+void WireWriter::message(const sim::Message& m) {
+  const std::size_t body = encoded_size(m) - 4;  // everything the prefix covers
+  u32(checked_u32(body, "frame length"));
+  u8(kWireVersion);
+  u64(static_cast<std::uint64_t>(m.from));
+  u64(static_cast<std::uint64_t>(m.to));
+  u64(static_cast<std::uint64_t>(m.round));
+  u32(checked_u32(m.tag.size(), "tag length"));
+  raw(m.tag.data(), m.tag.size());
+  u32(checked_u32(m.payload.size(), "payload length"));
+  raw(m.payload.data(), m.payload.size());
+}
+
+void WireReader::need(std::size_t count) const {
+  if (size_ - pos_ < count)
+    throw ProtocolError("wire: truncated frame (needed " + std::to_string(count) +
+                        " bytes, had " + std::to_string(size_ - pos_) + ")");
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8)
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+  return v;
+}
+
+sim::Message WireReader::message() {
+  const std::uint64_t body = u32();
+  // The frame must fit in the remaining input...
+  need(body);
+  const std::size_t frame_end = pos_ + body;
+  const std::uint8_t version = u8();
+  if (version != kWireVersion)
+    throw ProtocolError("wire: unsupported frame version " + std::to_string(version) +
+                        " (expected " + std::to_string(kWireVersion) + ")");
+  sim::Message m;
+  m.from = static_cast<sim::PartyId>(u64());
+  m.to = static_cast<sim::PartyId>(u64());
+  m.round = static_cast<sim::Round>(u64());
+  const std::uint32_t tag_len = u32();
+  // ...and each variable field must fit in the frame (a hostile tag_len may
+  // not reach past frame_end into the next frame of the stream).
+  if (frame_end - pos_ < tag_len)
+    throw ProtocolError("wire: tag length overruns the frame");
+  m.tag.assign(reinterpret_cast<const char*>(data_ + pos_), tag_len);
+  pos_ += tag_len;
+  if (frame_end - pos_ < 4) throw ProtocolError("wire: truncated payload length");
+  const std::uint32_t payload_len = u32();
+  if (frame_end - pos_ < payload_len)
+    throw ProtocolError("wire: payload length overruns the frame");
+  m.payload.assign(data_ + pos_, data_ + pos_ + payload_len);
+  pos_ += payload_len;
+  // The prefix must cover the fields exactly: slack bytes inside a frame
+  // are smuggled data, not padding.
+  if (pos_ != frame_end)
+    throw ProtocolError("wire: frame length prefix does not match its contents (" +
+                        std::to_string(frame_end - pos_) + " slack bytes)");
+  return m;
+}
+
+void encode_message(const sim::Message& m, Bytes& out) {
+  WireWriter(out).message(m);
+}
+
+sim::Message decode_message(const Bytes& frame) {
+  WireReader reader(frame);
+  sim::Message m = reader.message();
+  if (!reader.done())
+    throw ProtocolError("wire: trailing bytes after a single-frame decode");
+  return m;
+}
+
+std::size_t frame_size_hint(const std::uint8_t* data, std::size_t size) noexcept {
+  if (size < 4) return 0;
+  std::uint32_t body = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    body |= static_cast<std::uint32_t>(data[shift / 8]) << shift;
+  return 4 + static_cast<std::size_t>(body);
+}
+
+}  // namespace simulcast::net

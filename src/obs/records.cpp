@@ -136,6 +136,8 @@ void append(Json& json, const PerfRecord& p) {
       .member("broadcasts", std::uint64_t{r.traffic.broadcasts})
       .member("payload_bytes", std::uint64_t{r.traffic.payload_bytes})
       .member("delivered_bytes", std::uint64_t{r.traffic.delivered_bytes})
+      .member("wire_bytes", std::uint64_t{r.traffic.wire_bytes})
+      .member("wire_delivered_bytes", std::uint64_t{r.traffic.wire_delivered_bytes})
       .member("dropped", std::uint64_t{r.traffic.dropped})
       .member("delayed", std::uint64_t{r.traffic.delayed})
       .member("blocked", std::uint64_t{r.traffic.blocked})
@@ -186,6 +188,7 @@ void append(Json& json, const ExperimentRecord& r) {
       .object_begin()
       .member("seed", r.seed)
       .member("threads", std::uint64_t{r.perf.report.threads})
+      .member("transport", r.transport)
       .member("compiler", kCompiler)
       .member("build", kBuildMode)
       .object_end();

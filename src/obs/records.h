@@ -33,7 +33,12 @@ namespace simulcast::obs {
 /// (a graceful stop flushed it before every repetition finished) and "perf"
 /// gained completed/partial plus the "quarantine" reproducer array (rep,
 /// seed, reason per quarantined repetition).
-inline constexpr std::uint64_t kSchemaVersion = 4;
+/// v5: the transport seam — "traffic" gained wire_bytes /
+/// wire_delivered_bytes (true serialized sizes under the net/wire.h frame
+/// encoding; payload_bytes / delivered_bytes stay for this revision as the
+/// deprecated payload-only counts) and metadata gained "transport", the
+/// backend (inproc|socket) the record was measured under.
+inline constexpr std::uint64_t kSchemaVersion = 5;
 
 /// Fixed-precision decimal formatting shared by tables and detail strings
 /// (core::fmt delegates here so text and records agree digit for digit).
@@ -97,6 +102,10 @@ struct ExperimentRecord {
   /// core::finish_experiment derives it from the merged perf report and the
   /// process stop flag.
   bool partial = false;
+  /// Transport backend the record was measured under (schema v5,
+  /// "inproc" | "socket").  Left empty by drivers: core::finish_experiment
+  /// fills it from net::default_transport_kind().
+  std::string transport;
 };
 
 /// Serializers.  append() writes the record as the next JSON value (the

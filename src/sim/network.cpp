@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/error.h"
+#include "net/transport.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -206,11 +208,14 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     return false;
   };
 
-  // pending[r]: messages awaiting delivery at the start of round r
-  // (r == total_rounds is the final delivery into Party::finish).  Without
-  // faults every message sent in round r lands in pending[r + 1], exactly
-  // the old in_flight hand-off.
-  std::vector<std::vector<Message>> pending(total_rounds + 1);
+  // The transport owns the messages between rounds: slot r holds traffic
+  // awaiting delivery at the start of round r (slot total_rounds is the
+  // final delivery into Party::finish).  Without faults every message sent
+  // in round r is submitted to slot r + 1, exactly the old pending-vector
+  // hand-off — the scheduler decides what is delivered when (faults,
+  // partitions), the transport decides how the bytes move.
+  std::unique_ptr<net::Transport> transport = net::make_transport(config.transport);
+  transport->open(n, total_rounds + 1);
 
   // Routes one round's outgoing traffic, applying drops and delays.
   // Functionality traffic models an ideal subprotocol and is exempt.
@@ -234,7 +239,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
           }
         }
       }
-      pending[slot].push_back(std::move(m));
+      transport->submit(std::move(m), slot);
     }
   };
 
@@ -257,14 +262,21 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
 
   const auto account = [&](const std::vector<Message>& sent) {
     for (const Message& m : sent) {
+      // encoded_size prices the serialized frame without materializing it,
+      // and runs pre-fault — the counts are pure functions of the traffic,
+      // identical on every transport backend.
+      const std::size_t frame = net::encoded_size(m);
       ++result.traffic.messages;
       result.traffic.payload_bytes += m.payload.size();
+      result.traffic.wire_bytes += frame;
       if (m.to == kBroadcast) {
         ++result.traffic.broadcasts;
         result.traffic.delivered_bytes += m.payload.size() * (n - 1);
+        result.traffic.wire_delivered_bytes += frame * (n - 1);
       } else {
         ++result.traffic.point_to_point;
         result.traffic.delivered_bytes += m.payload.size();
+        result.traffic.wire_delivered_bytes += frame;
       }
     }
   };
@@ -286,7 +298,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     obs::TraceSpan round_span("round");
     round_span.arg("round", round);
     const TrafficStats traffic_before = result.traffic;
-    const std::vector<Message>& arriving = pending[round];
+    const std::vector<Message> arriving = transport->collect(round);
     std::vector<Message> sent_this_round;
 
     // 0. Crashes scheduled for this round take effect before anyone acts.
@@ -363,7 +375,6 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       obs::trace_instant("round-traffic",
                          {{"round", round}, {"messages", round_messages}, {"bytes", round_bytes}});
     if (config.record_trace) result.trace[round] = sent_this_round;
-    pending[round].clear();
     route(std::move(sent_this_round), round);
     if (obs::trace_enabled()) {
       const std::size_t round_dropped = result.traffic.dropped - traffic_before.dropped;
@@ -378,16 +389,17 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   // Final delivery.
   check_deadline(total_rounds);
   apply_crashes(total_rounds);
+  const std::vector<Message> final_arriving = transport->collect(total_rounds);
   for (PartyId id = 0; id < n; ++id) {
     if (!machines[id]) continue;
-    const std::vector<Message> inbox = deliver_to(pending[total_rounds], id, total_rounds);
+    const std::vector<Message> inbox = deliver_to(final_arriving, id, total_rounds);
     try {
       machines[id]->finish(inbox, contexts[id]);
     } catch (const ProtocolError&) {
       fail_party(id);
     }
   }
-  if (config.record_trace) result.trace[total_rounds] = pending[total_rounds];
+  if (config.record_trace) result.trace[total_rounds] = final_arriving;
 
   result.outputs.resize(n);
   for (PartyId id = 0; id < n; ++id) {
@@ -400,6 +412,8 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   }
   result.adversary_output = adversary.output();
   if (!plan.empty()) record_fault_metrics(result.traffic);
+  net::record_transport_metrics(transport->stats());
+  transport->close();
   return result;
 }
 

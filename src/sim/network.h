@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "base/bitvec.h"
+#include "net/transport.h"
 #include "sim/adversary.h"
 #include "sim/faults.h"
 #include "sim/protocol.h"
@@ -49,14 +50,29 @@ struct ExecutionConfig {
   /// and throws TimeoutError once past it.  The default (epoch) disables
   /// the check entirely, so watchdog-free executions never read the clock.
   std::chrono::steady_clock::time_point deadline{};
+  /// Transport backend moving messages between rounds (net/transport.h).
+  /// Defaults to the process-wide knob (--transport=, exec::configure_threads),
+  /// which is the bit-identical in-process backend unless overridden.
+  /// Samples and verdicts are transport-invariant, so the backend is not
+  /// part of a campaign's identity.
+  net::TransportKind transport = net::default_transport_kind();
 };
 
 struct TrafficStats {
   std::size_t messages = 0;        ///< send operations (a broadcast counts once)
   std::size_t point_to_point = 0;  ///< p2p sends
   std::size_t broadcasts = 0;      ///< broadcast-channel sends
-  std::size_t payload_bytes = 0;   ///< sum of payload sizes over sends
-  std::size_t delivered_bytes = 0; ///< payload bytes times fan-out
+  // Deprecated payload-only byte accounting, kept under the old names for
+  // one schema revision (obs/records.h v5): payload sizes undercount real
+  // traffic by the per-message framing (sender, destination, round, tag).
+  // New consumers should read wire_bytes / wire_delivered_bytes.
+  std::size_t payload_bytes = 0;   ///< DEPRECATED: sum of payload sizes over sends
+  std::size_t delivered_bytes = 0; ///< DEPRECATED: payload bytes times fan-out
+  // True serialized traffic, priced with the net/wire.h frame encoding
+  // (net::encoded_size).  Computed per send, pre-fault, so the numbers are
+  // identical on every transport backend and safe to checkpoint.
+  std::size_t wire_bytes = 0;           ///< serialized frame bytes over sends
+  std::size_t wire_delivered_bytes = 0; ///< frame bytes times fan-out
   // Fault accounting (all zero unless an ExecutionConfig carries a
   // nonempty FaultPlan; see sim/faults.h).
   std::size_t dropped = 0;         ///< messages never delivered (drop draw, or delayed past the end)

@@ -32,6 +32,8 @@ bool same_sample(const Sample& a, const Sample& b) {
          a.traffic.broadcasts == b.traffic.broadcasts &&
          a.traffic.payload_bytes == b.traffic.payload_bytes &&
          a.traffic.delivered_bytes == b.traffic.delivered_bytes &&
+         a.traffic.wire_bytes == b.traffic.wire_bytes &&
+         a.traffic.wire_delivered_bytes == b.traffic.wire_delivered_bytes &&
          a.traffic.dropped == b.traffic.dropped && a.traffic.delayed == b.traffic.delayed &&
          a.traffic.blocked == b.traffic.blocked && a.traffic.crashed == b.traffic.crashed;
 }
@@ -347,6 +349,8 @@ TEST(SessionBatch, MatchesSerialSessions) {
     EXPECT_EQ(batch.results[i].traffic.broadcasts, one.traffic.broadcasts) << i;
     EXPECT_EQ(batch.results[i].traffic.payload_bytes, one.traffic.payload_bytes) << i;
     EXPECT_EQ(batch.results[i].traffic.delivered_bytes, one.traffic.delivered_bytes) << i;
+    EXPECT_EQ(batch.results[i].traffic.wire_bytes, one.traffic.wire_bytes) << i;
+    EXPECT_EQ(batch.results[i].traffic.wire_delivered_bytes, one.traffic.wire_delivered_bytes) << i;
   }
 }
 

@@ -1,0 +1,275 @@
+// Transport-seam contract (net/transport.h): submission-order delivery on
+// the in-process backend, byte-level equivalence between the socket and
+// in-process backends, and execution/batch invariance — the backend moves
+// the bytes, it never changes what an execution computes.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/error.h"
+#include "crypto/commitment.h"
+#include "exec/runner.h"
+#include "net/wire.h"
+#include "sim/network.h"
+#include "stats/rng.h"
+
+namespace simulcast::net {
+namespace {
+
+constexpr std::uint64_t kMasterSeed = 0x7A05C0DE;
+
+bool messages_equal(const sim::Message& a, const sim::Message& b) {
+  return a.from == b.from && a.to == b.to && a.round == b.round && a.tag == b.tag &&
+         a.payload == b.payload;
+}
+
+// ------------------------------------------------- mailbox contract ----
+
+TEST(Transport, KindNamesRoundTrip) {
+  EXPECT_EQ(transport_kind_name(TransportKind::kInProcess), "inproc");
+  EXPECT_EQ(transport_kind_name(TransportKind::kSocket), "socket");
+  EXPECT_EQ(parse_transport_kind("inproc"), TransportKind::kInProcess);
+  EXPECT_EQ(parse_transport_kind("socket"), TransportKind::kSocket);
+  EXPECT_THROW((void)parse_transport_kind("tcp"), UsageError);
+  EXPECT_THROW((void)parse_transport_kind(""), UsageError);
+}
+
+TEST(Transport, InProcessPreservesSubmissionOrder) {
+  auto transport = make_transport(TransportKind::kInProcess);
+  transport->open(4, 3);
+  std::size_t total_bytes = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    sim::Message m{i % 4, (i + 1) % 4, 0, "t" + std::to_string(i), {std::uint8_t(i)}};
+    total_bytes += encoded_size(m);
+    transport->submit(std::move(m), i % 3);
+  }
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    const std::vector<sim::Message> got = transport->collect(slot);
+    ASSERT_EQ(got.size(), 2u) << "slot " << slot;
+    EXPECT_EQ(got[0].tag, "t" + std::to_string(slot));
+    EXPECT_EQ(got[1].tag, "t" + std::to_string(slot + 3));
+  }
+  EXPECT_EQ(transport->stats().frames, 6u);
+  EXPECT_EQ(transport->stats().bytes_on_wire, total_bytes);
+}
+
+TEST(Transport, SubmitOutOfRangeSlotIsUsageError) {
+  for (const TransportKind kind : {TransportKind::kInProcess, TransportKind::kSocket}) {
+    auto transport = make_transport(kind);
+    transport->open(2, 2);
+    EXPECT_THROW(transport->submit(sim::Message{0, 1, 0, "t", {}}, 2), UsageError)
+        << transport_kind_name(kind);
+  }
+}
+
+/// The backbone equivalence: random traffic submitted identically to both
+/// backends is collected identically — same messages, same order, per slot.
+TEST(Transport, SocketMatchesInProcessOnRandomTraffic) {
+  constexpr std::size_t kParties = 4;
+  constexpr std::size_t kSlots = 5;
+  auto inproc = make_transport(TransportKind::kInProcess);
+  auto socket = make_transport(TransportKind::kSocket);
+  inproc->open(kParties, kSlots);
+  socket->open(kParties, kSlots);
+
+  stats::Rng rng = stats::Rng(kMasterSeed).fork("transport-equiv", 0);
+  for (std::size_t i = 0; i < 200; ++i) {
+    sim::Message m;
+    m.from = rng.below(kParties);
+    switch (rng.below(4)) {
+      case 0: m.to = sim::kBroadcast; break;
+      case 1: m.to = sim::kFunctionality; break;
+      default: m.to = rng.below(kParties); break;
+    }
+    m.round = rng.below(kSlots);
+    m.tag = "m" + std::to_string(i);
+    const std::size_t payload_len = rng.below(512);
+    for (std::size_t b = 0; b < payload_len; ++b)
+      m.payload.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    const std::size_t slot = rng.below(kSlots);
+    inproc->submit(m, slot);
+    socket->submit(std::move(m), slot);
+  }
+
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    const std::vector<sim::Message> expected = inproc->collect(slot);
+    const std::vector<sim::Message> got = socket->collect(slot);
+    ASSERT_EQ(got.size(), expected.size()) << "slot " << slot;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_TRUE(messages_equal(got[i], expected[i])) << "slot " << slot << " message " << i;
+  }
+  EXPECT_EQ(socket->stats().frames, 200u);
+  // The socket stream carries a seq/slot prelude per frame on top of the
+  // wire encoding, so it moves strictly more bytes than the in-process
+  // accounting prices.
+  EXPECT_GT(socket->stats().bytes_on_wire, inproc->stats().bytes_on_wire);
+  socket->close();
+  socket->close();  // idempotent
+}
+
+// ------------------------------------------- execution invariance ----
+
+// A small 3-round protocol with broadcast + p2p traffic: round r, every
+// party broadcasts its running parity and sends it p2p to its successor;
+// output bit j = parity of everything heard from j.
+class ChatterParty final : public sim::Party {
+ public:
+  explicit ChatterParty(sim::PartyId id, bool input) : id_(id), acc_(input ? 1 : 0) {}
+
+  void begin(sim::PartyContext& ctx) override {
+    n_ = ctx.n();
+    heard_.assign(n_, 0);
+  }
+
+  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+                sim::PartyContext& ctx) override {
+    record(inbox);
+    acc_ = static_cast<std::uint8_t>(acc_ + static_cast<std::uint8_t>(round) + 1);
+    ctx.broadcast("parity", Bytes{acc_});
+    ctx.send((id_ + 1) % n_, "poke", Bytes{acc_, static_cast<std::uint8_t>(round)});
+  }
+
+  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext&) override {
+    record(inbox);
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    BitVec out(n_);
+    for (sim::PartyId j = 0; j < n_; ++j) out.set(j, (heard_[j] & 1) != 0);
+    return out;
+  }
+
+ private:
+  void record(const std::vector<sim::Message>& inbox) {
+    for (const sim::Message& m : inbox)
+      if (m.from < n_)
+        for (const std::uint8_t b : m.payload) heard_[m.from] ^= b;
+  }
+
+  sim::PartyId id_;
+  std::size_t n_ = 0;
+  std::uint8_t acc_;
+  std::vector<std::uint8_t> heard_;
+};
+
+class ChatterProtocol final : public sim::ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "chatter"; }
+  [[nodiscard]] std::size_t rounds(std::size_t) const override { return 3; }
+  [[nodiscard]] std::unique_ptr<sim::Party> make_party(
+      sim::PartyId id, bool input, const sim::ProtocolParams&) const override {
+    return std::make_unique<ChatterParty>(id, input);
+  }
+};
+
+void expect_same_traffic(const sim::TrafficStats& a, const sim::TrafficStats& b) {
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.point_to_point, b.point_to_point);
+  EXPECT_EQ(a.broadcasts, b.broadcasts);
+  EXPECT_EQ(a.payload_bytes, b.payload_bytes);
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.wire_delivered_bytes, b.wire_delivered_bytes);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.delayed, b.delayed);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.crashed, b.crashed);
+}
+
+sim::ExecutionResult run_chatter(net::TransportKind kind, const sim::FaultPlan& plan,
+                                 std::uint64_t seed) {
+  ChatterProtocol proto;
+  adversary::AdversaryFactory factory = adversary::silent_factory();
+  auto adv = factory();
+  sim::ProtocolParams params;
+  params.n = 5;
+  sim::ExecutionConfig config;
+  config.seed = seed;
+  config.faults = plan;
+  config.transport = kind;
+  BitVec inputs(5);
+  inputs.set(1, true);
+  inputs.set(3, true);
+  return sim::run_execution(proto, params, inputs, *adv, config);
+}
+
+TEST(Transport, ExecutionIdenticalAcrossBackends) {
+  for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+    const sim::ExecutionResult a = run_chatter(TransportKind::kInProcess, {}, seed);
+    const sim::ExecutionResult b = run_chatter(TransportKind::kSocket, {}, seed);
+    EXPECT_EQ(a.outputs, b.outputs) << "seed " << seed;
+    EXPECT_EQ(a.adversary_output, b.adversary_output) << "seed " << seed;
+    EXPECT_EQ(a.rounds, b.rounds) << "seed " << seed;
+    expect_same_traffic(a.traffic, b.traffic);
+    EXPECT_GT(a.traffic.wire_bytes, a.traffic.payload_bytes);  // framing is not free
+  }
+}
+
+TEST(Transport, ExecutionIdenticalAcrossBackendsUnderFaults) {
+  sim::FaultPlan plan;
+  plan.drop_probability = 0.2;
+  plan.max_delay = 2;
+  plan.crashes.push_back({2, 1});
+  plan.partitions.push_back({{0, 1}, 1, 2});
+  const sim::ExecutionResult a = run_chatter(TransportKind::kInProcess, plan, 7);
+  const sim::ExecutionResult b = run_chatter(TransportKind::kSocket, plan, 7);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.adversary_output, b.adversary_output);
+  EXPECT_EQ(a.crashed, b.crashed);
+  expect_same_traffic(a.traffic, b.traffic);
+  EXPECT_GT(a.traffic.dropped + a.traffic.delayed + a.traffic.blocked, 0u)
+      << "fault plan exercised nothing; the equivalence check is vacuous";
+}
+
+// ------------------------------------------------ batch invariance ----
+
+/// Restores the process-wide transport knob on scope exit, so a failing
+/// assertion cannot leak the socket default into later tests.
+class ScopedTransportDefault {
+ public:
+  explicit ScopedTransportDefault(TransportKind kind) : saved_(default_transport_kind()) {
+    set_default_transport_kind(kind);
+  }
+  ~ScopedTransportDefault() { set_default_transport_kind(saved_); }
+
+ private:
+  TransportKind saved_;
+};
+
+TEST(Transport, RunnerBatchIdenticalAcrossBackendsAndThreadCounts) {
+  ChatterProtocol proto;
+  static const crypto::HashCommitmentScheme scheme;
+  exec::RunSpec spec;
+  spec.protocol = &proto;
+  spec.params.n = 5;
+  spec.params.commitments = &scheme;
+  spec.adversary = adversary::silent_factory();
+
+  BitVec input(5);
+  input.set(0, true);
+  input.set(4, true);
+
+  const exec::BatchResult baseline = exec::Runner(1).run_batch(spec, input, 12, kMasterSeed);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const ScopedTransportDefault guard(TransportKind::kSocket);
+    const exec::BatchResult socket = exec::Runner(threads).run_batch(spec, input, 12, kMasterSeed);
+    ASSERT_EQ(socket.samples.size(), baseline.samples.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < baseline.samples.size(); ++i) {
+      const exec::Sample& a = baseline.samples[i];
+      const exec::Sample& b = socket.samples[i];
+      EXPECT_EQ(a.inputs, b.inputs) << "rep " << i;
+      EXPECT_EQ(a.announced, b.announced) << "rep " << i;
+      EXPECT_EQ(a.consistent, b.consistent) << "rep " << i;
+      EXPECT_EQ(a.adversary_output, b.adversary_output) << "rep " << i;
+      EXPECT_EQ(a.rounds, b.rounds) << "rep " << i;
+      expect_same_traffic(a.traffic, b.traffic);
+    }
+    expect_same_traffic(baseline.report.traffic, socket.report.traffic);
+  }
+}
+
+}  // namespace
+}  // namespace simulcast::net

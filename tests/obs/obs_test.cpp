@@ -104,7 +104,7 @@ TEST(Json, BuilderRejectsMalformedDocuments) {
 ExperimentRecord golden_record() {
   ExperimentRecord rec;
   rec.id = "E0/golden";
-  rec.paper_claim = "schema fixture: field layout of record schema v4";
+  rec.paper_claim = "schema fixture: field layout of record schema v5";
   rec.setup = "hand-built record with \"quotes\", back\\slash and tab\there";
   rec.reproduced = true;
   rec.detail = "2 cells, 1 statistic + 1 check";
@@ -135,6 +135,10 @@ ExperimentRecord golden_record() {
   rec.perf.report.traffic.broadcasts = 64;
   rec.perf.report.traffic.payload_bytes = 1024;
   rec.perf.report.traffic.delivered_bytes = 4096;
+  // Wire accounting (schema v5): frame bytes exceed the deprecated
+  // payload-only counts by the per-message framing overhead.
+  rec.perf.report.traffic.wire_bytes = 17600;
+  rec.perf.report.traffic.wire_delivered_bytes = 23040;
   rec.perf.report.traffic.dropped = 7;
   rec.perf.report.traffic.delayed = 3;
   rec.perf.report.traffic.blocked = 2;
@@ -169,6 +173,9 @@ ExperimentRecord golden_record() {
   rec.faults.max_delay = 2;
   rec.faults.crashes.push_back({1, 0});
   rec.faults.partitions.push_back({{0, 2}, 1, 3});
+
+  // Transport backend (schema v5).
+  rec.transport = "inproc";
   return rec;
 }
 

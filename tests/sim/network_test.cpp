@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "base/error.h"
+#include "net/wire.h"
 
 namespace simulcast::sim {
 namespace {
@@ -226,6 +227,11 @@ TEST(Network, TrafficAccounting) {
   EXPECT_EQ(result.traffic.point_to_point, 0u);
   EXPECT_EQ(result.traffic.payload_bytes, 4u);
   EXPECT_EQ(result.traffic.delivered_bytes, 4u * 3u);
+  // Serialized accounting: each send is one frame of overhead + tag ("bit")
+  // + 1 payload byte, and a broadcast fans out to n - 1 recipients.
+  const std::size_t frame = net::kFrameOverhead + 3 + 1;
+  EXPECT_EQ(result.traffic.wire_bytes, 4u * frame);
+  EXPECT_EQ(result.traffic.wire_delivered_bytes, 4u * frame * 3u);
 }
 
 TEST(Network, TraceRecordsMessages) {
