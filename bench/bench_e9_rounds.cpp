@@ -3,7 +3,7 @@
 //
 // The paper reports no measured table; its motivation is the asymptotic
 // round counts.  This harness measures, for n in {4, 8, 16, 32, 64}, the
-// actual executed rounds, message count and payload bytes of each protocol
+// actual executed rounds, message count and wire bytes of each protocol
 // in an all-honest run, and checks the shape: CGMA grows linearly in n,
 // Chor-Rabin logarithmically, Gennaro stays constant.  A second table
 // ablates the commitment backend of the naive protocol (hash vs Pedersen) -
@@ -22,7 +22,7 @@ using namespace simulcast;
 struct Measurement {
   std::size_t rounds = 0;
   std::size_t messages = 0;
-  std::size_t payload_bytes = 0;
+  std::size_t wire_bytes = 0;
 };
 
 Measurement measure(const sim::ParallelBroadcastProtocol& proto, std::size_t n,
@@ -39,7 +39,7 @@ Measurement measure(const sim::ParallelBroadcastProtocol& proto, std::size_t n,
   const auto result = sim::run_execution(proto, params, inputs, adv, config);
   if (!result.honest_outputs_consistent({}))
     throw ProtocolError("E9: inconsistent execution at n=" + std::to_string(n));
-  return {result.rounds, result.traffic.messages, result.traffic.payload_bytes};
+  return {result.rounds, result.traffic.messages, result.traffic.wire_bytes};
 }
 
 }  // namespace
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       "[8], rounds(Gennaro) = O(1) [12]";
   rec.setup =
       "all-honest executions, n in {4, 8, 16, 32, 64}; measured rounds / messages / "
-      "payload bytes per protocol";
+      "wire bytes per protocol";
   rec.seed = 0xE9;
   core::print_banner(rec);
 
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       const Measurement m = measure(*proto, n);
       results[name].push_back(m);
       row.push_back(std::to_string(m.rounds) + "r/" + std::to_string(m.messages) + "m/" +
-                    std::to_string(m.payload_bytes) + "B");
+                    std::to_string(m.wire_bytes) + "B");
     }
     std::string shape = "-";
     if (name == "cgma" || name == "seq-broadcast") shape = "linear";
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
       for (std::size_t n : {4u, 8u}) {
         const Measurement m = measure(*proto, n);
         row.push_back(std::to_string(m.rounds) + "r/" + std::to_string(m.messages) + "m/" +
-                      std::to_string(m.payload_bytes) + "B");
+                      std::to_string(m.wire_bytes) + "B");
       }
       ds_table.add_row(row);
     }
@@ -125,15 +125,15 @@ int main(int argc, char** argv) {
   const crypto::PedersenCommitmentScheme pedersen_scheme;
   const Measurement mh = measure(*naive, 16, &hash_scheme);
   const Measurement mp = measure(*naive, 16, &pedersen_scheme);
-  core::Table ablation({"backend", "rounds", "messages", "payload bytes"});
+  core::Table ablation({"backend", "rounds", "messages", "wire bytes"});
   ablation.add_row({"hash-sha256", std::to_string(mh.rounds), std::to_string(mh.messages),
-                    std::to_string(mh.payload_bytes)});
+                    std::to_string(mh.wire_bytes)});
   ablation.add_row({"pedersen", std::to_string(mp.rounds), std::to_string(mp.messages),
-                    std::to_string(mp.payload_bytes)});
+                    std::to_string(mp.wire_bytes)});
   std::cout << "commitment-backend ablation (naive-commit-reveal, n = 16):\n"
             << ablation.render() << "\n";
   const bool ablation_ok =
-      mh.rounds == mp.rounds && mh.messages == mp.messages && mh.payload_bytes != mp.payload_bytes;
+      mh.rounds == mp.rounds && mh.messages == mp.messages && mh.wire_bytes != mp.wire_bytes;
 
   rec.cells.push_back({"cgma linear",
                        obs::check(cgma_linear, "rounds(n=64) = " +
@@ -152,9 +152,9 @@ int main(int argc, char** argv) {
   rec.cells.push_back(
       {"commitment-backend ablation",
        obs::check(ablation_ok,
-                  "hash vs pedersen: rounds/messages invariant, payload bytes differ (" +
-                      std::to_string(mh.payload_bytes) + "B vs " +
-                      std::to_string(mp.payload_bytes) + "B)")});
+                  "hash vs pedersen: rounds/messages invariant, wire bytes differ (" +
+                      std::to_string(mh.wire_bytes) + "B vs " +
+                      std::to_string(mp.wire_bytes) + "B)")});
 
   rec.reproduced = cgma_linear && cr_log && gennaro_const && order_at_64 && ablation_ok;
   rec.detail = "rounds at n=64: cgma=" + std::to_string(rounds_of("cgma", 4)) +

@@ -19,6 +19,10 @@
 #   - Throughput must be within BENCH_TOL relative tolerance of the
 #     baseline (default 0.5, i.e. +/-50%; BENCH_TOL=skip disables the
 #     check for noisy boxes).
+#   - Both records must carry a schema_version this script knows.  A
+#     missing or unknown version fails loudly instead of "comparing" two
+#     records whose field layouts this script cannot interpret — stale
+#     baselines must be regenerated, not silently matched.
 #
 # Exits nonzero when any record drifts, prints a per-field diff, and
 # requires at least one record to actually compare (an empty intersection
@@ -67,6 +71,18 @@ baseline = json.load(open(sys.argv[1]))
 candidate = json.load(open(sys.argv[2]))
 tol = sys.argv[3]
 failed = False
+
+# Versions this script can interpret (obs/records.h kSchemaVersion history).
+# Anything else means the field layout below is wrong for the record, so
+# refuse to compare rather than produce a meaningless verdict.
+KNOWN_SCHEMAS = {6}
+for role, rec, path in (("baseline", baseline, sys.argv[1]),
+                        ("candidate", candidate, sys.argv[2])):
+    version = rec.get("schema_version")
+    if version not in KNOWN_SCHEMAS:
+        failed = True
+        print(f"  {role} {path}: unknown or missing schema_version {version!r}"
+              f" (known: {sorted(KNOWN_SCHEMAS)}); regenerate the record")
 
 cb, cc = canon(baseline), canon(candidate)
 if cb != cc:

@@ -96,11 +96,17 @@ int main(int argc, char** argv) {
   const std::string adversary_name = argv[2];
   const std::string dist_spec = argv[3];
 
+  // The uniform knobs (--threads, --transport, --json, --trace, the fault
+  // and resilience flags) go through the same strict parser every bench
+  // driver uses: an unknown or repeated option exits 2 there, so explore's
+  // own loop only sees its four pass-through knobs.  argv is offset past
+  // the three positionals, which configure_threads must not see.
+  exec::configure_threads(argc - 3, argv + 3,
+                          {"--n=", "--corrupt=", "--samples=", "--seed="});
   std::size_t n = 5;
   std::vector<sim::PartyId> corrupted;
   std::size_t samples = 2000;
   std::uint64_t seed = 1;
-  sim::FaultPlan faults;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--n=", 0) == 0)
@@ -111,36 +117,11 @@ int main(int argc, char** argv) {
       samples = std::stoul(arg.substr(10));
     else if (arg.rfind("--seed=", 0) == 0)
       seed = std::stoull(arg.substr(7));
-    else if (arg.rfind("--threads=", 0) == 0)
-      exec::set_default_threads(std::stoul(arg.substr(10)));
-    else if (arg.rfind("--transport=", 0) == 0) {
-      try {
-        net::set_default_transport_kind(net::parse_transport_kind(arg.substr(12)));
-      } catch (const UsageError& e) {
-        usage(e.what());
-      }
-    }
-    else if (arg.rfind("--json=", 0) == 0)
-      exec::set_default_json_path(arg.substr(7));
-    else if (arg.rfind("--trace=", 0) == 0)
-      obs::set_default_trace_path(arg.substr(8));
-    else if (arg.rfind("--drop=", 0) == 0)
-      faults.drop_probability = std::stod(arg.substr(7));
-    else if (arg.rfind("--delay=", 0) == 0)
-      faults.max_delay = std::stoul(arg.substr(8));
-    else if (arg.rfind("--crash=", 0) == 0)
-      faults.crashes = sim::parse_crash_schedule(arg.substr(8));
-    else if (exec::apply_resilience_knob(arg)) {
-      // Checkpoint/resume, watchdog, retry and stop-after knobs land in the
-      // process-wide batch options that Runner snapshots at construction.
-    } else
-      usage("unknown option '" + arg + "'");
   }
   if (samples == 0) usage("--samples must be at least 1");
   if (exec::default_batch_options().resume && exec::default_batch_options().checkpoint_path.empty())
     usage("--resume requires --checkpoint=PATH");
-  if (!faults.empty()) exec::set_default_fault_plan(faults);
-  exec::install_signal_handlers();
+  const sim::FaultPlan& faults = exec::default_fault_plan();
 
   try {
     const auto proto = core::make_protocol(protocol_name);

@@ -12,7 +12,7 @@ namespace simulcast::adversary {
 namespace {
 
 /// Inbox a corrupted machine with this id would have received.
-std::vector<sim::Message> inbox_for(const std::vector<sim::Message>& delivered,
+std::vector<sim::Message> inbox_for(const sim::Inbox& delivered,
                                     sim::PartyId id) {
   std::vector<sim::Message> inbox;
   for (const sim::Message& m : delivered)
@@ -63,7 +63,7 @@ void CopyLastAdversary::setup(const sim::CorruptionInfo& info, crypto::HmacDrbg&
 
 void CopyLastAdversary::on_round(sim::Round round, const sim::AdversaryView& view,
                                  sim::AdversarySender& sender) {
-  const auto scan = [&](const std::vector<sim::Message>& pool) {
+  const auto scan = [&](const sim::Inbox& pool) {
     for (const sim::Message& m : pool) {
       if (m.tag == protocols::kSeqAnnounceTag && m.from == victim_ && m.payload.size() == 1 &&
           m.round == victim_ && !victim_bit_.has_value())
@@ -159,11 +159,11 @@ void FuzzAdversary::on_round(sim::Round /*round*/, const sim::AdversaryView& /*v
     const std::uint64_t count = drbg_->below(max_per_round_ + 1);
     for (std::uint64_t k = 0; k < count; ++k) {
       // Tag: mostly protocol tags, sometimes junk.
-      std::string tag;
+      sim::Tag tag;
       if (!tags_.empty() && drbg_->below(4) != 0)
         tag = tags_[drbg_->below(tags_.size())];
       else
-        tag = "fuzz-" + std::to_string(drbg_->below(1000));
+        tag = sim::Tag("fuzz-" + std::to_string(drbg_->below(1000)));
       // Destination: a party, the broadcast channel, or the functionality.
       const std::uint64_t dest_kind = drbg_->below(4);
       const Bytes payload = drbg_->generate(drbg_->below(65));
@@ -221,7 +221,7 @@ void ShareSnoopAdversary::on_round(sim::Round round, const sim::AdversaryView& v
   if (!stolen_bit_.has_value()) {
     const crypto::PedersenVss vss;
     const std::uint64_t q = vss.group().q();
-    const auto scan = [&](const std::vector<sim::Message>& pool) {
+    const auto scan = [&](const sim::Inbox& pool) {
       for (const sim::Message& m : pool) {
         if (m.tag != protocols::kVssShareTag || m.from != victim_) continue;
         try {

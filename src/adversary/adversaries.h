@@ -122,7 +122,7 @@ class FuzzAdversary final : public sim::Adversary {
  public:
   /// `tags` should include the victim protocol's message tags;
   /// `max_messages_per_round` bounds the per-party spray.
-  FuzzAdversary(std::vector<std::string> tags, std::size_t max_messages_per_round = 4)
+  FuzzAdversary(std::vector<sim::Tag> tags, std::size_t max_messages_per_round = 4)
       : tags_(std::move(tags)), max_per_round_(max_messages_per_round) {}
 
   void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg& drbg) override;
@@ -130,7 +130,7 @@ class FuzzAdversary final : public sim::Adversary {
                 sim::AdversarySender& sender) override;
 
  private:
-  std::vector<std::string> tags_;
+  std::vector<sim::Tag> tags_;
   std::size_t max_per_round_;
   std::vector<sim::PartyId> corrupted_;
   std::size_t n_ = 0;

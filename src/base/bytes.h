@@ -25,6 +25,12 @@ using Bytes = std::vector<std::uint8_t>;
 /// explicit tag-free little-endian length prefix.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `buf` as the output buffer (cleared, capacity kept) — the hook
+  /// that lets pooled buffers (sim/pool.h) flow through take() with no
+  /// fresh allocation.
+  explicit ByteWriter(Bytes&& buf) : buf_(std::move(buf)) { buf_.clear(); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);

@@ -10,6 +10,11 @@ namespace {
 
 constexpr std::size_t kSignerHeight = 3;  // 8 one-time keys; a session signs <= 2 values
 
+// File-local interned tags so the per-message dispatch below is an integer
+// compare, not a string compare.
+const sim::Tag kRootTag{"ds-root"};
+const sim::Tag kRelayTag{"ds-relay"};
+
 class DolevStrongParty final : public sim::Party {
  public:
   DolevStrongParty(sim::PartyId sender, std::size_t t, bool input)
@@ -20,10 +25,10 @@ class DolevStrongParty final : public sim::Party {
     n_ = ctx.n();
   }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override {
     if (round == 0) {
-      ctx.broadcast("ds-root", crypto::digest_bytes(signer_->public_root()));
+      ctx.broadcast(kRootTag, crypto::digest_bytes(signer_->public_root()));
       return;
     }
     if (round == 1) {
@@ -40,7 +45,7 @@ class DolevStrongParty final : public sim::Party {
     process_chains(round, inbox, &ctx);
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& /*ctx*/) override {
     process_chains(t_ + 2, inbox, nullptr);
   }
 
@@ -51,13 +56,13 @@ class DolevStrongParty final : public sim::Party {
   }
 
  private:
-  void record_roots(const std::vector<sim::Message>& inbox) {
+  void record_roots(const sim::Inbox& inbox) {
     for (const sim::Message& m : inbox) {
       // The PKI must be consistent: roots are only accepted off the
       // broadcast channel, or an equivocating signer could register
       // different keys with different parties and split their verdicts.
       if (m.to != sim::kBroadcast) continue;
-      if (m.tag != "ds-root" || m.payload.size() != crypto::kSha256DigestSize) continue;
+      if (m.tag != kRootTag || m.payload.size() != crypto::kSha256DigestSize) continue;
       if (roots_.contains(m.from)) continue;  // first root wins
       crypto::Digest d{};
       std::copy(m.payload.begin(), m.payload.end(), d.begin());
@@ -67,7 +72,7 @@ class DolevStrongParty final : public sim::Party {
 
   void send_to_all(sim::PartyContext& ctx, const Bytes& payload) {
     for (sim::PartyId id = 0; id < n_; ++id)
-      if (id != ctx.id()) ctx.send(id, "ds-relay", payload);
+      if (id != ctx.id()) ctx.send(id, kRelayTag, payload);
   }
 
   [[nodiscard]] bool chain_valid(const DecodedChain& dc, std::size_t min_links) const {
@@ -85,10 +90,10 @@ class DolevStrongParty final : public sim::Party {
     return true;
   }
 
-  void process_chains(sim::Round round, const std::vector<sim::Message>& inbox,
+  void process_chains(sim::Round round, const sim::Inbox& inbox,
                       sim::PartyContext* ctx) {
     for (const sim::Message& m : inbox) {
-      if (m.tag != "ds-relay") continue;
+      if (m.tag != kRelayTag) continue;
       const auto dc = decode_chain(m.payload);
       if (!dc.has_value()) continue;
       if (!chain_valid(*dc, round - 1)) continue;

@@ -7,6 +7,10 @@ namespace simulcast::broadcast {
 
 namespace {
 
+// File-local interned tags: message dispatch is an id compare.
+const sim::Tag kInitTag{"echo-init"};
+const sim::Tag kEchoTag{"echo"};
+
 class EchoParty final : public sim::Party {
  public:
   EchoParty(sim::PartyId sender, std::size_t t, bool input)
@@ -14,33 +18,33 @@ class EchoParty final : public sim::Party {
 
   void begin(sim::PartyContext& ctx) override { n_ = ctx.n(); }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override {
     if (round == 0) {
       if (ctx.id() == sender_) {
         received_ = input_;
         for (sim::PartyId id = 0; id < n_; ++id)
-          if (id != ctx.id()) ctx.send(id, "echo-init", Bytes{input_ ? std::uint8_t{1} : std::uint8_t{0}});
+          if (id != ctx.id()) ctx.send(id, kInitTag, Bytes{input_ ? std::uint8_t{1} : std::uint8_t{0}});
       }
       return;
     }
     // round == 1: record the init, echo it.
     for (const sim::Message& m : inbox) {
-      if (m.tag == "echo-init" && m.from == sender_ && m.payload.size() == 1 && !received_)
+      if (m.tag == kInitTag && m.from == sender_ && m.payload.size() == 1 && !received_)
         received_ = m.payload[0] != 0;
     }
     if (received_.has_value()) {
       ++echoes_[*received_ ? 1 : 0];  // count own echo
       for (sim::PartyId id = 0; id < n_; ++id)
         if (id != ctx.id())
-          ctx.send(id, "echo", Bytes{*received_ ? std::uint8_t{1} : std::uint8_t{0}});
+          ctx.send(id, kEchoTag, Bytes{*received_ ? std::uint8_t{1} : std::uint8_t{0}});
     }
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& /*ctx*/) override {
     std::vector<bool> echoed(n_, false);
     for (const sim::Message& m : inbox) {
-      if (m.tag != "echo" || m.payload.size() != 1) continue;
+      if (m.tag != kEchoTag || m.payload.size() != 1) continue;
       if (m.from >= n_ || echoed[m.from]) continue;  // one echo per party
       echoed[m.from] = true;
       ++echoes_[m.payload[0] != 0 ? 1 : 0];

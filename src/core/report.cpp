@@ -85,7 +85,7 @@ std::string describe(const obs::PerfRecord& p) {
   os << "[exec] executions=" << r.executions << " threads=" << r.threads << " wall="
      << fmt(r.wall_seconds, 3) << "s throughput=" << fmt(r.throughput, 1)
      << " exec/s rounds=" << r.total_rounds << " messages=" << r.traffic.messages
-     << " payload=" << r.traffic.payload_bytes << "B wire=" << r.traffic.wire_bytes
+     << " wire=" << r.traffic.wire_bytes
      << "B phases[sample="
      << fmt(r.phases.sampling, 3) << "s exec=" << fmt(r.phases.execution, 3)
      << "s eval=" << fmt(r.phases.evaluation, 3) << "s]";
@@ -144,8 +144,6 @@ exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) 
   out.traffic.messages = a.traffic.messages + b.traffic.messages;
   out.traffic.point_to_point = a.traffic.point_to_point + b.traffic.point_to_point;
   out.traffic.broadcasts = a.traffic.broadcasts + b.traffic.broadcasts;
-  out.traffic.payload_bytes = a.traffic.payload_bytes + b.traffic.payload_bytes;
-  out.traffic.delivered_bytes = a.traffic.delivered_bytes + b.traffic.delivered_bytes;
   out.traffic.wire_bytes = a.traffic.wire_bytes + b.traffic.wire_bytes;
   out.traffic.wire_delivered_bytes = a.traffic.wire_delivered_bytes + b.traffic.wire_delivered_bytes;
   out.traffic.dropped = a.traffic.dropped + b.traffic.dropped;

@@ -27,7 +27,6 @@ struct SessionResult {
   sim::TrafficStats traffic;
 
   [[nodiscard]] std::size_t messages() const { return traffic.messages; }
-  [[nodiscard]] std::size_t payload_bytes() const { return traffic.payload_bytes; }
   [[nodiscard]] std::size_t wire_bytes() const { return traffic.wire_bytes; }
 };
 

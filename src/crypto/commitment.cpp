@@ -1,7 +1,10 @@
 #include "crypto/commitment.h"
 
+#include <chrono>
+
 #include "base/error.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace simulcast::crypto {
 
@@ -9,13 +12,36 @@ namespace {
 
 constexpr std::size_t kBlindingBytes = 32;
 
-Bytes encode_labelled(std::string_view domain, std::string_view label, const Opening& opening) {
-  ByteWriter w;
+/// Accumulates commit() wall time into the "crypto.commit_us" counter.  The
+/// sub-microsecond remainder is carried per thread so short calls are not
+/// rounded away; the counter itself is timing, so (unlike every protocol
+/// output) its value is not deterministic across runs.
+class CommitTimer {
+ public:
+  CommitTimer() : start_(std::chrono::steady_clock::now()) {}
+  ~CommitTimer() {
+    static obs::Counter& commit_us = obs::Metrics::global().counter("crypto.commit_us");
+    thread_local std::uint64_t ns_remainder = 0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    ns_remainder += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    if (ns_remainder >= 1000) {
+      commit_us.add(ns_remainder / 1000);
+      ns_remainder %= 1000;
+    }
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+Digest hash_labelled(std::string_view domain, std::string_view label, const Opening& opening) {
+  HashWriter w;
   w.str(domain);
   w.str(label);
   w.bytes(opening.message);
   w.bytes(opening.randomness);
-  return w.take();
+  return w.finish();
 }
 
 }  // namespace
@@ -25,7 +51,8 @@ Opening HashCommitmentScheme::make_opening(const Bytes& message, HmacDrbg& drbg)
 }
 
 Commitment HashCommitmentScheme::commit(std::string_view label, const Opening& opening) const {
-  const Digest d = sha256(encode_labelled("simulcast/hash-commit/v1", label, opening));
+  const CommitTimer timer;
+  const Digest d = hash_labelled("simulcast/hash-commit/v1", label, opening);
   return Commitment{digest_bytes(d)};
 }
 
@@ -42,11 +69,11 @@ bool HashCommitmentScheme::verify(std::string_view label, const Commitment& comm
 PedersenCommitmentScheme::PedersenCommitmentScheme() : group_(&SchnorrGroup::standard()) {}
 
 Zq PedersenCommitmentScheme::message_exponent(std::string_view label, const Bytes& message) const {
-  ByteWriter w;
+  HashWriter w;
   w.str("simulcast/pedersen-msg/v1");
   w.str(label);
   w.bytes(message);
-  const Digest d = sha256(w.data());
+  const Digest d = w.finish();
   std::uint64_t x = 0;
   for (int i = 0; i < 8; ++i) x = (x << 8) | d[static_cast<std::size_t>(i)];
   return Zq{x, group_->q()};
@@ -61,6 +88,7 @@ Opening PedersenCommitmentScheme::make_opening(const Bytes& message, HmacDrbg& d
 
 Commitment PedersenCommitmentScheme::commit(std::string_view label,
                                             const Opening& opening) const {
+  const CommitTimer timer;
   ByteReader reader(opening.randomness);
   const Zq r{reader.u64(), group_->q()};
   const Zq m = message_exponent(label, opening.message);
@@ -72,7 +100,7 @@ Commitment PedersenCommitmentScheme::commit(std::string_view label,
 
 bool PedersenCommitmentScheme::verify(std::string_view label, const Commitment& commitment,
                                       const Opening& opening) const {
-  if (commitment.value.size() != 8) return false;
+  if (commitment.value.size() != kCommitmentBytes) return false;
   try {
     const Commitment expected = commit(label, opening);
     return expected.value == commitment.value;

@@ -73,6 +73,11 @@ class HashCommitmentScheme final : public CommitmentScheme {
 
 class PedersenCommitmentScheme final : public CommitmentScheme {
  public:
+  /// A Pedersen commitment on the wire is one group element, serialized as
+  /// a u64.  commit() produces exactly this many bytes and verify()
+  /// rejects anything else.
+  static constexpr std::size_t kCommitmentBytes = 8;
+
   /// Uses SchnorrGroup::standard() by default.
   PedersenCommitmentScheme();
   explicit PedersenCommitmentScheme(const SchnorrGroup& group) : group_(&group) {}
@@ -82,7 +87,7 @@ class PedersenCommitmentScheme final : public CommitmentScheme {
   [[nodiscard]] Commitment commit(std::string_view label, const Opening& opening) const override;
   [[nodiscard]] bool verify(std::string_view label, const Commitment& commitment,
                             const Opening& opening) const override;
-  [[nodiscard]] std::size_t commitment_size() const override { return 8; }
+  [[nodiscard]] std::size_t commitment_size() const override { return kCommitmentBytes; }
 
  private:
   [[nodiscard]] Zq message_exponent(std::string_view label, const Bytes& message) const;

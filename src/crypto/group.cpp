@@ -16,6 +16,27 @@ constexpr std::uint64_t kStandardG = 4ULL;
 
 }  // namespace
 
+FixedBaseTable::FixedBaseTable(std::uint64_t base, std::uint64_t p)
+    : p_(p), table_(kWindows) {
+  // window_base walks base^(256^i); each row is that power's digit ladder.
+  std::uint64_t window_base = base % p;
+  for (std::size_t i = 0; i < kWindows; ++i) {
+    table_[i][0] = 1 % p;
+    for (std::size_t d = 1; d < 256; ++d)
+      table_[i][d] = mulmod(table_[i][d - 1], window_base, p);
+    window_base = mulmod(table_[i][255], window_base, p);
+  }
+}
+
+std::uint64_t FixedBaseTable::exp(std::uint64_t e) const noexcept {
+  std::uint64_t acc = 1 % p_;
+  for (std::size_t i = 0; i < kWindows && e != 0; ++i, e >>= 8) {
+    const std::uint64_t d = e & 0xff;
+    if (d != 0) acc = mulmod(acc, table_[i][d], p_);
+  }
+  return acc;
+}
+
 SchnorrGroup::SchnorrGroup(std::uint64_t p, std::uint64_t q, std::uint64_t g)
     : p_(p), q_(q), g_(g) {
   if (!is_prime_u64(p)) throw UsageError("SchnorrGroup: p not prime");
@@ -24,6 +45,8 @@ SchnorrGroup::SchnorrGroup(std::uint64_t p, std::uint64_t q, std::uint64_t g)
   if (g <= 1 || g >= p || powmod(g, q, p) != 1)
     throw UsageError("SchnorrGroup: g not an order-q element");
   h_ = hash_to_group("simulcast/pedersen-h/v1");
+  g_table_ = FixedBaseTable(g_, p_);
+  h_table_ = FixedBaseTable(h_, p_);
 }
 
 const SchnorrGroup& SchnorrGroup::standard() {
@@ -32,11 +55,13 @@ const SchnorrGroup& SchnorrGroup::standard() {
 }
 
 std::uint64_t SchnorrGroup::exp_g(const Zq& e) const {
-  return exp(g_, e);
+  if (e.modulus() != q_) throw UsageError("SchnorrGroup::exp: exponent modulus != q");
+  return g_table_.exp(e.value());
 }
 
 std::uint64_t SchnorrGroup::exp_h(const Zq& e) const {
-  return exp(h_, e);
+  if (e.modulus() != q_) throw UsageError("SchnorrGroup::exp: exponent modulus != q");
+  return h_table_.exp(e.value());
 }
 
 std::uint64_t SchnorrGroup::exp(std::uint64_t base, const Zq& e) const {

@@ -1,29 +1,52 @@
 #include "crypto/hmac.h"
 
+#include <cstring>
+
 #include "base/error.h"
 
 namespace simulcast::crypto {
 
-Digest hmac_sha256(const Bytes& key, const Bytes& data) {
-  Bytes k = key;
-  if (k.size() > kSha256BlockSize) k = digest_bytes(sha256(k));
-  k.resize(kSha256BlockSize, 0);
-
-  Bytes inner_pad(kSha256BlockSize);
-  Bytes outer_pad(kSha256BlockSize);
-  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
-    inner_pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
-    outer_pad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+void HmacSha256::set_key(const std::uint8_t* key, std::size_t len) noexcept {
+  std::uint8_t block[kSha256BlockSize] = {};
+  Digest hashed;
+  if (len > kSha256BlockSize) {
+    Sha256 ctx;
+    ctx.update(key, len);
+    hashed = ctx.finish();
+    key = hashed.data();
+    len = hashed.size();
   }
-  Sha256 inner;
-  inner.update(inner_pad);
-  inner.update(data);
-  const Digest inner_digest = inner.finish();
+  std::memcpy(block, key, len);
 
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i)
+    block[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+  Sha256 inner;
+  inner.update(block, kSha256BlockSize);
+  inner_mid_ = inner.midstate();
+
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i)
+    block[i] = static_cast<std::uint8_t>(block[i] ^ (0x36 ^ 0x5c));
   Sha256 outer;
-  outer.update(outer_pad);
+  outer.update(block, kSha256BlockSize);
+  outer_mid_ = outer.midstate();
+}
+
+Digest HmacSha256::finish(Sha256& inner) const noexcept {
+  const Digest inner_digest = inner.finish();
+  Sha256 outer(outer_mid_, kSha256BlockSize);
   outer.update(inner_digest.data(), inner_digest.size());
   return outer.finish();
+}
+
+Digest HmacSha256::mac(const std::uint8_t* data, std::size_t len) const noexcept {
+  Sha256 inner = begin();
+  inner.update(data, len);
+  return finish(inner);
+}
+
+Digest hmac_sha256(const Bytes& key, const Bytes& data) {
+  HmacSha256 ctx(key);
+  return ctx.mac(data.data(), data.size());
 }
 
 Bytes hkdf(const Bytes& salt, const Bytes& ikm, std::string_view info, std::size_t length) {
@@ -46,9 +69,11 @@ Bytes hkdf(const Bytes& salt, const Bytes& ikm, std::string_view info, std::size
   return out;
 }
 
-HmacDrbg::HmacDrbg(const Bytes& seed_material)
-    : key_(kSha256DigestSize, 0x00), value_(kSha256DigestSize, 0x01) {
-  update(seed_material);
+HmacDrbg::HmacDrbg(const Bytes& seed_material) {
+  key_.fill(0x00);
+  value_.fill(0x01);
+  hmac_.set_key(key_);
+  update(seed_material.data(), seed_material.size());
 }
 
 HmacDrbg::HmacDrbg(std::uint64_t seed, std::string_view personalization)
@@ -59,38 +84,44 @@ HmacDrbg::HmacDrbg(std::uint64_t seed, std::string_view personalization)
         return w.take();
       }()) {}
 
-void HmacDrbg::update(const Bytes& material) {
-  // K = HMAC(K, V || 0x00 || material); V = HMAC(K, V)
-  Bytes block = value_;
-  block.push_back(0x00);
-  block.insert(block.end(), material.begin(), material.end());
-  key_ = digest_bytes(hmac_sha256(key_, block));
-  value_ = digest_bytes(hmac_sha256(key_, value_));
-  if (!material.empty()) {
-    block = value_;
-    block.push_back(0x01);
-    block.insert(block.end(), material.begin(), material.end());
-    key_ = digest_bytes(hmac_sha256(key_, block));
-    value_ = digest_bytes(hmac_sha256(key_, value_));
+void HmacDrbg::update(const std::uint8_t* material, std::size_t len) {
+  // K = HMAC(K, V || sep || material); V = HMAC(K, V), once per separator
+  // byte (0x00, then 0x01 when material is present) per SP 800-90A.
+  const auto derive = [&](std::uint8_t sep) {
+    Sha256 ctx = hmac_.begin();
+    ctx.update(value_.data(), value_.size());
+    ctx.update(&sep, 1);
+    ctx.update(material, len);
+    key_ = hmac_.finish(ctx);
+    hmac_.set_key(key_);
+    value_ = hmac_.mac(value_.data(), value_.size());
+  };
+  derive(0x00);
+  if (len != 0) derive(0x01);
+}
+
+void HmacDrbg::generate_into(std::uint8_t* out, std::size_t length) {
+  std::size_t produced = 0;
+  while (produced < length) {
+    value_ = hmac_.mac(value_.data(), value_.size());
+    const std::size_t take = std::min(value_.size(), length - produced);
+    std::memcpy(out + produced, value_.data(), take);
+    produced += take;
   }
+  update(nullptr, 0);
 }
 
 Bytes HmacDrbg::generate(std::size_t length) {
-  Bytes out;
-  out.reserve(length);
-  while (out.size() < length) {
-    value_ = digest_bytes(hmac_sha256(key_, value_));
-    const std::size_t take = std::min(value_.size(), length - out.size());
-    out.insert(out.end(), value_.begin(), value_.begin() + static_cast<std::ptrdiff_t>(take));
-  }
-  update({});
+  Bytes out(length);
+  generate_into(out.data(), length);
   return out;
 }
 
 std::uint64_t HmacDrbg::next_u64() {
-  const Bytes b = generate(8);
+  std::uint8_t b[8];
+  generate_into(b, 8);
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
   return v;
 }
 
@@ -105,7 +136,7 @@ std::uint64_t HmacDrbg::below(std::uint64_t bound) {
 }
 
 void HmacDrbg::reseed(const Bytes& material) {
-  update(material);
+  update(material.data(), material.size());
 }
 
 }  // namespace simulcast::crypto

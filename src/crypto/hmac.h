@@ -16,6 +16,38 @@ namespace simulcast::crypto {
 /// HMAC-SHA256 of `data` under `key`.
 [[nodiscard]] Digest hmac_sha256(const Bytes& key, const Bytes& data);
 
+/// Precomputed-key HMAC-SHA256.  set_key() compresses the ipad/opad blocks
+/// once and caches the midstates, so every subsequent MAC under the same
+/// key skips both pad compressions — for the 32-byte keys HMAC-DRBG uses,
+/// that halves the SHA-256 work per invocation.  Output is bit-identical
+/// to hmac_sha256().
+class HmacSha256 {
+ public:
+  HmacSha256() = default;
+  explicit HmacSha256(const Bytes& key) { set_key(key.data(), key.size()); }
+
+  /// (Re)keys the context; hashes keys longer than one block first, per
+  /// RFC 2104.
+  void set_key(const std::uint8_t* key, std::size_t len) noexcept;
+  void set_key(const Digest& key) noexcept { set_key(key.data(), key.size()); }
+
+  /// Starts a MAC: a context primed with the inner-pad midstate.  Absorb
+  /// the message into it, then call finish().
+  [[nodiscard]] Sha256 begin() const noexcept {
+    return Sha256(inner_mid_, kSha256BlockSize);
+  }
+
+  /// Completes a MAC started by begin().
+  [[nodiscard]] Digest finish(Sha256& inner) const noexcept;
+
+  /// One-shot convenience over a (data, len) message.
+  [[nodiscard]] Digest mac(const std::uint8_t* data, std::size_t len) const noexcept;
+
+ private:
+  Sha256Midstate inner_mid_{};
+  Sha256Midstate outer_mid_{};
+};
+
 /// HKDF-Extract-then-Expand producing `length` bytes (length <= 255*32).
 [[nodiscard]] Bytes hkdf(const Bytes& salt, const Bytes& ikm, std::string_view info,
                          std::size_t length);
@@ -43,10 +75,12 @@ class HmacDrbg {
   void reseed(const Bytes& material);
 
  private:
-  void update(const Bytes& material);
+  void update(const std::uint8_t* material, std::size_t len);
+  void generate_into(std::uint8_t* out, std::size_t length);
 
-  Bytes key_;
-  Bytes value_;
+  Digest key_{};
+  Digest value_{};
+  HmacSha256 hmac_;  ///< keyed by key_; rekeyed whenever key_ changes
 };
 
 }  // namespace simulcast::crypto

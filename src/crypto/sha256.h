@@ -21,10 +21,20 @@ inline constexpr std::size_t kSha256BlockSize = 64;
 
 using Digest = std::array<std::uint8_t, kSha256DigestSize>;
 
+/// A chaining value captured at a block boundary, resumable via the
+/// midstate constructor below.  HMAC keys cache their ipad/opad states this
+/// way so a keyed MAC skips re-compressing the pad blocks (crypto/hmac.h).
+using Sha256Midstate = std::array<std::uint32_t, 8>;
+
 /// Streaming SHA-256 context.
 class Sha256 {
  public:
   Sha256() noexcept;
+
+  /// Resumes from a midstate after `absorbed` bytes (must be a multiple of
+  /// the block size) have already been compressed into it.
+  Sha256(const Sha256Midstate& midstate, std::uint64_t absorbed) noexcept
+      : state_(midstate), buffer_{}, total_len_(absorbed) {}
 
   /// Absorbs `len` bytes at `data`.
   void update(const std::uint8_t* data, std::size_t len) noexcept;
@@ -32,6 +42,10 @@ class Sha256 {
   void update(std::string_view s) noexcept {
     update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
+
+  /// The chaining value so far.  Only meaningful at a block boundary
+  /// (total bytes absorbed divisible by kSha256BlockSize).
+  [[nodiscard]] Sha256Midstate midstate() const noexcept { return state_; }
 
   /// Finishes and returns the digest.  The context must not be reused.
   [[nodiscard]] Digest finish() noexcept;
@@ -43,6 +57,33 @@ class Sha256 {
   std::array<std::uint8_t, kSha256BlockSize> buffer_;
   std::uint64_t total_len_ = 0;
   std::size_t buffer_len_ = 0;
+};
+
+/// Streaming counterpart of base/bytes.h ByteWriter: emits the identical
+/// length-prefixed field encoding, but absorbs it straight into a Sha256
+/// context instead of materializing a buffer.  Multi-field hashes
+/// (commitment preimages, domain-separated transcripts) use this to hash
+/// without a heap allocation per call.
+class HashWriter {
+ public:
+  void u8(std::uint8_t v) noexcept { ctx_.update(&v, 1); }
+  void u32(std::uint32_t v) noexcept;
+  void u64(std::uint64_t v) noexcept;
+  /// Length-prefixed raw bytes.
+  void bytes(const Bytes& data) noexcept {
+    u32(static_cast<std::uint32_t>(data.size()));
+    ctx_.update(data);
+  }
+  /// Length-prefixed string.
+  void str(std::string_view s) noexcept {
+    u32(static_cast<std::uint32_t>(s.size()));
+    ctx_.update(s);
+  }
+
+  [[nodiscard]] Digest finish() noexcept { return ctx_.finish(); }
+
+ private:
+  Sha256 ctx_;
 };
 
 /// One-shot hash.

@@ -14,9 +14,10 @@ namespace simulcast::exec {
 namespace {
 
 // v2 added wire_bytes / wire_delivered_bytes to each slot's traffic fields
-// (the transport refactor's serialized-byte accounting).  A v1 sidecar is
-// rejected as unreadable rather than resumed with zeroed wire counts.
-constexpr std::string_view kMagic = "simulcast-checkpoint v2";
+// (the transport refactor's serialized-byte accounting).  v3 dropped the
+// deprecated payload-only counts alongside record schema v6.  Old sidecars
+// are rejected as unreadable rather than resumed with a mismatched layout.
+constexpr std::string_view kMagic = "simulcast-checkpoint v3";
 
 // SplitMix64 finalizer: one cheap, well-mixed permutation per lane so the
 // accumulator is order-sensitive and avalanche-complete.
@@ -180,7 +181,7 @@ void write_checkpoint(const std::string& resolved_path, const CheckpointData& da
       out << "slot " << record.slot << ' ' << bits_token(s.inputs) << ' '
           << bits_token(s.announced) << ' ' << (s.consistent ? 1 : 0) << ' ' << s.rounds << ' '
           << t.messages << ' ' << t.point_to_point << ' ' << t.broadcasts << ' '
-          << t.payload_bytes << ' ' << t.delivered_bytes << ' ' << t.wire_bytes << ' '
+          << t.wire_bytes << ' '
           << t.wire_delivered_bytes << ' ' << t.dropped << ' ' << t.delayed << ' ' << t.blocked
           << ' ' << t.crashed << ' ' << bytes_token(s.adversary_output) << "\n";
     }
@@ -258,7 +259,7 @@ std::optional<CheckpointData> load_checkpoint(const std::string& resolved_path) 
       std::string inputs_f, announced_f, adversary_f;
       int consistent = 0;
       fields >> record.slot >> inputs_f >> announced_f >> consistent >> s.rounds >> t.messages >>
-          t.point_to_point >> t.broadcasts >> t.payload_bytes >> t.delivered_bytes >>
+          t.point_to_point >> t.broadcasts >>
           t.wire_bytes >> t.wire_delivered_bytes >> t.dropped >> t.delayed >> t.blocked >>
           t.crashed >> adversary_f;
       if (!fields || (consistent != 0 && consistent != 1)) {

@@ -380,8 +380,6 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
     out.report.traffic.messages += s.traffic.messages;
     out.report.traffic.point_to_point += s.traffic.point_to_point;
     out.report.traffic.broadcasts += s.traffic.broadcasts;
-    out.report.traffic.payload_bytes += s.traffic.payload_bytes;
-    out.report.traffic.delivered_bytes += s.traffic.delivered_bytes;
     out.report.traffic.wire_bytes += s.traffic.wire_bytes;
     out.report.traffic.wire_delivered_bytes += s.traffic.wire_delivered_bytes;
     out.report.traffic.dropped += s.traffic.dropped;

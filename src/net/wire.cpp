@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <string>
+#include <string_view>
 
 #include "base/error.h"
 
@@ -39,8 +40,9 @@ void WireWriter::message(const sim::Message& m) {
   u64(static_cast<std::uint64_t>(m.from));
   u64(static_cast<std::uint64_t>(m.to));
   u64(static_cast<std::uint64_t>(m.round));
-  u32(checked_u32(m.tag.size(), "tag length"));
-  raw(m.tag.data(), m.tag.size());
+  const std::string_view tag = m.tag.str();
+  u32(checked_u32(tag.size(), "tag length"));
+  raw(tag.data(), tag.size());
   u32(checked_u32(m.payload.size(), "payload length"));
   raw(m.payload.data(), m.payload.size());
 }
@@ -90,7 +92,9 @@ sim::Message WireReader::message() {
   // not reach past frame_end into the next frame of the stream).
   if (frame_end - pos_ < tag_len)
     throw ProtocolError("wire: tag length overruns the frame");
-  m.tag.assign(reinterpret_cast<const char*>(data_ + pos_), tag_len);
+  // Interning happens here, at the decode boundary: the wire format still
+  // carries the tag name; in-memory Messages carry the 32-bit id.
+  m.tag = sim::Tag(std::string_view(reinterpret_cast<const char*>(data_ + pos_), tag_len));
   pos_ += tag_len;
   if (frame_end - pos_ < 4) throw ProtocolError("wire: truncated payload length");
   const std::uint32_t payload_len = u32();

@@ -134,8 +134,6 @@ void append(Json& json, const PerfRecord& p) {
       .member("messages", std::uint64_t{r.traffic.messages})
       .member("point_to_point", std::uint64_t{r.traffic.point_to_point})
       .member("broadcasts", std::uint64_t{r.traffic.broadcasts})
-      .member("payload_bytes", std::uint64_t{r.traffic.payload_bytes})
-      .member("delivered_bytes", std::uint64_t{r.traffic.delivered_bytes})
       .member("wire_bytes", std::uint64_t{r.traffic.wire_bytes})
       .member("wire_delivered_bytes", std::uint64_t{r.traffic.wire_delivered_bytes})
       .member("dropped", std::uint64_t{r.traffic.dropped})

@@ -38,7 +38,11 @@ namespace simulcast::obs {
 /// encoding; payload_bytes / delivered_bytes stay for this revision as the
 /// deprecated payload-only counts) and metadata gained "transport", the
 /// backend (inproc|socket) the record was measured under.
-inline constexpr std::uint64_t kSchemaVersion = 5;
+/// v6: the deprecated payload-only counts are gone — "traffic" carries only
+/// the wire-priced bytes (wire_bytes / wire_delivered_bytes).  Consumers
+/// (bench/compare.sh) now reject records whose schema_version they do not
+/// know instead of silently diffing mismatched layouts.
+inline constexpr std::uint64_t kSchemaVersion = 6;
 
 /// Fixed-precision decimal formatting shared by tables and detail strings
 /// (core::fmt delegates here so text and records agree digit for digit).

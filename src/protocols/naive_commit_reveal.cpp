@@ -25,7 +25,7 @@ class NcrParty final : public sim::Party {
     result_ = BitVec(n_);
   }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override {
     if (round == 0) {
       const Bytes message{input_ ? std::uint8_t{1} : std::uint8_t{0}};
@@ -37,14 +37,14 @@ class NcrParty final : public sim::Party {
     }
     // round == 1: record commitments, broadcast opening.
     record_commitments(inbox);
-    ByteWriter w;
+    ByteWriter w = ctx.writer();
     w.bytes(opening_->message);
     w.bytes(opening_->randomness);
     ctx.broadcast(kNcrOpenTag, w.take());
     result_.set(ctx.id(), input_);
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& /*ctx*/) override {
     for (const sim::Message& m : inbox) {
       if (m.to != sim::kBroadcast) continue;  // channel binding (consistency)
       if (m.tag != kNcrOpenTag || m.from >= n_ || m.round != 1) continue;
@@ -72,7 +72,7 @@ class NcrParty final : public sim::Party {
   }
 
  private:
-  void record_commitments(const std::vector<sim::Message>& inbox) {
+  void record_commitments(const sim::Inbox& inbox) {
     for (const sim::Message& m : inbox) {
       if (m.to != sim::kBroadcast) continue;  // channel binding (consistency)
       if (m.tag != kNcrCommitTag || m.from >= n_ || m.round != 0) continue;

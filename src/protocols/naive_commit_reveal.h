@@ -20,8 +20,8 @@
 
 namespace simulcast::protocols {
 
-inline constexpr const char* kNcrCommitTag = "ncr-commit";
-inline constexpr const char* kNcrOpenTag = "ncr-open";
+inline const sim::Tag kNcrCommitTag{"ncr-commit"};
+inline const sim::Tag kNcrOpenTag{"ncr-open"};
 
 /// The commitment label for party `id` (binds identity into the commitment).
 [[nodiscard]] std::string ncr_label(sim::PartyId id);

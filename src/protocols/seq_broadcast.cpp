@@ -16,7 +16,7 @@ class SeqParty final : public sim::Party {
     heard_.assign(n_, std::nullopt);
   }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override {
     record(inbox);
     if (round == ctx.id()) {
@@ -25,7 +25,7 @@ class SeqParty final : public sim::Party {
     }
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& /*ctx*/) override {
     record(inbox);
     done_ = true;
   }
@@ -38,7 +38,7 @@ class SeqParty final : public sim::Party {
   }
 
  private:
-  void record(const std::vector<sim::Message>& inbox) {
+  void record(const sim::Inbox& inbox) {
     for (const sim::Message& m : inbox) {
       // Only the scheduled sender's announcement for its own round counts;
       // anything else (wrong round, wrong size, duplicate) is ignored and

@@ -15,7 +15,7 @@
 namespace simulcast::protocols {
 
 /// Message tag used by the per-round announcements (payload: 1 byte, 0/1).
-inline constexpr const char* kSeqAnnounceTag = "seq-announce";
+inline const sim::Tag kSeqAnnounceTag{"seq-announce"};
 
 class SeqBroadcastProtocol final : public sim::ParallelBroadcastProtocol {
  public:

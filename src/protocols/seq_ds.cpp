@@ -26,7 +26,7 @@ class SeqDsParty final : public sim::Party {
     (void)ctx.take_outbox();
   }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override {
     const std::size_t block = round / block_len_;
     const std::size_t local = round % block_len_;
@@ -37,7 +37,7 @@ class SeqDsParty final : public sim::Party {
     blocks_[block]->on_round(local, inbox, ctx);
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& ctx) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& ctx) override {
     blocks_[n_ - 1]->finish(inbox, ctx);
     done_ = true;
   }

@@ -36,7 +36,7 @@ std::optional<ThetaInput> decode_theta_input(const Bytes& payload) {
   return ThetaInput{payload[0] == 1, payload[1] == 1};
 }
 
-void ThetaIdealFunctionality::on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+void ThetaIdealFunctionality::on_round(sim::Round round, const sim::Inbox& inbox,
                                        crypto::HmacDrbg& drbg,
                                        sim::FunctionalitySender& sender) {
   if (round != 1) return;
@@ -65,13 +65,13 @@ class FlawedPiGParty final : public sim::Party {
 
   void begin(sim::PartyContext& ctx) override { n_ = ctx.n(); }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& /*inbox*/,
+  void on_round(sim::Round round, const sim::Inbox& /*inbox*/,
                 sim::PartyContext& ctx) override {
     if (round == 0)
       ctx.send(sim::kFunctionality, kThetaInputTag, encode_theta_input({input_, false}));
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& /*ctx*/) override {
     for (const sim::Message& m : inbox) {
       if (m.tag != kThetaOutputTag || m.from != sim::kFunctionality) continue;
       if (m.payload.size() != 8) continue;

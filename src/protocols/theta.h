@@ -27,8 +27,8 @@
 
 namespace simulcast::protocols {
 
-inline constexpr const char* kThetaInputTag = "theta-input";
-inline constexpr const char* kThetaOutputTag = "theta-output";
+inline const sim::Tag kThetaInputTag{"theta-input"};
+inline const sim::Tag kThetaOutputTag{"theta-output"};
 
 struct ThetaInput {
   bool x = false;
@@ -49,7 +49,7 @@ class ThetaIdealFunctionality final : public sim::TrustedFunctionality {
  public:
   explicit ThetaIdealFunctionality(std::size_t n) : n_(n) {}
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 crypto::HmacDrbg& drbg, sim::FunctionalitySender& sender) override;
 
  private:

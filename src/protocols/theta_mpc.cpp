@@ -48,7 +48,7 @@ class ThetaMpcParty final : public sim::Party {
     result_ = BitVec(n_);
   }
 
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override {
     record(inbox);
     switch (round) {
@@ -60,7 +60,7 @@ class ThetaMpcParty final : public sim::Party {
     }
   }
 
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& /*ctx*/) override {
+  void finish(const sim::Inbox& inbox, sim::PartyContext& /*ctx*/) override {
     record(inbox);
     compute_output();
     decided_ = true;
@@ -98,7 +98,7 @@ class ThetaMpcParty final : public sim::Party {
     my_deal_x_ = vss_.deal(x, t_, n_, ctx.drbg());
     my_deal_rho_ = vss_.deal(rho, t_, n_, ctx.drbg());
 
-    ByteWriter w;
+    ByteWriter w = ctx.writer();
     w.bytes(crypto::encode_group_elements(my_deal_x_->commitments));
     w.bytes(crypto::encode_group_elements(my_deal_rho_->commitments));
     ctx.broadcast(kTmpcCommitTag, w.take());
@@ -128,7 +128,7 @@ class ThetaMpcParty final : public sim::Party {
     }
     for (std::size_t d = 0; d < n_; ++d)
       if ((mask >> d) & 1u) dealers_[d].complaints.emplace(me_, false);
-    ByteWriter w;
+    ByteWriter w = ctx.writer();
     w.u64(mask);
     ctx.broadcast(kTmpcComplainTag, w.take());
   }
@@ -137,7 +137,7 @@ class ThetaMpcParty final : public sim::Party {
     if (!my_deal_x_.has_value()) return;
     for (auto& [complainer, justified] : dealers_[me_].complaints) {
       if (complainer >= n_) continue;
-      ByteWriter w;
+      ByteWriter w = ctx.writer();
       w.u64(complainer);
       w.bytes(encode_twin({my_deal_x_->shares[complainer], my_deal_rho_->shares[complainer]}));
       ctx.broadcast(kTmpcJustifyTag, w.take());
@@ -184,7 +184,7 @@ class ThetaMpcParty final : public sim::Party {
       if (dealer.disqualified || !dealer.my_shares.has_value()) continue;
       if (!shares_ok(dealer)) continue;
       const auto send_reveal = [&](Kind kind, const PedersenShare& share) {
-        ByteWriter w;
+        ByteWriter w = ctx.writer();
         w.u64(d);
         w.u8(static_cast<std::uint8_t>(kind));
         w.bytes(crypto::encode_pedersen_share(share));
@@ -204,7 +204,7 @@ class ThetaMpcParty final : public sim::Party {
     (kind == Kind::kX ? dealer.public_x : dealer.public_rho).push_back(share);
   }
 
-  void record(const std::vector<sim::Message>& inbox) {
+  void record(const sim::Inbox& inbox) {
     for (const sim::Message& m : inbox) {
       try {
         // Channel binding: only the share transfer is point-to-point;

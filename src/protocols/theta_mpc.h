@@ -32,12 +32,12 @@
 
 namespace simulcast::protocols {
 
-inline constexpr const char* kTmpcBitTag = "tmpc-b";
-inline constexpr const char* kTmpcCommitTag = "tmpc-commit";    // payload: x-vec || rho-vec
-inline constexpr const char* kTmpcShareTag = "tmpc-share";      // payload: x-share || rho-share
-inline constexpr const char* kTmpcComplainTag = "tmpc-complain";
-inline constexpr const char* kTmpcJustifyTag = "tmpc-justify";
-inline constexpr const char* kTmpcRevealTag = "tmpc-reveal";    // dealer, kind, share
+inline const sim::Tag kTmpcBitTag{"tmpc-b"};
+inline const sim::Tag kTmpcCommitTag{"tmpc-commit"};    // payload: x-vec || rho-vec
+inline const sim::Tag kTmpcShareTag{"tmpc-share"};      // payload: x-share || rho-share
+inline const sim::Tag kTmpcComplainTag{"tmpc-complain"};
+inline const sim::Tag kTmpcJustifyTag{"tmpc-justify"};
+inline const sim::Tag kTmpcRevealTag{"tmpc-reveal"};    // dealer, kind, share
 
 /// Π_G over the real-MPC Θ.  Honest parties run with b = 0; the A*
 /// adversary runs the same machine with b = 1 on two corrupted parties

@@ -86,7 +86,7 @@ void VssProtocolParty::add_public_share(DealerState& state, const crypto::Peders
   state.public_shares.push_back(share);
 }
 
-void VssProtocolParty::record(const std::vector<sim::Message>& inbox, sim::PartyContext& ctx) {
+void VssProtocolParty::record(const sim::Inbox& inbox, sim::PartyContext& ctx) {
   for (const sim::Message& m : inbox) {
     try {
       // Channel binding: every tag except the private share transfer is a
@@ -211,7 +211,7 @@ void VssProtocolParty::decide_disqualifications() {
   }
 }
 
-void VssProtocolParty::on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+void VssProtocolParty::on_round(sim::Round round, const sim::Inbox& inbox,
                                 sim::PartyContext& ctx) {
   record(inbox, ctx);
 
@@ -221,7 +221,7 @@ void VssProtocolParty::on_round(sim::Round round, const std::vector<sim::Message
     const PokRounds& mine = (*schedule_.pok)[me_];
     if (round == mine.commit && my_secret_.has_value()) {
       my_pok_ = crypto::sigma_commit(*group_, ctx.drbg());
-      ByteWriter w;
+      ByteWriter w = ctx.writer();
       w.u64(my_pok_->a);
       ctx.broadcast(kPokCommitTag, w.take());
       dealers_[me_].pok_a = my_pok_->a;
@@ -234,7 +234,7 @@ void VssProtocolParty::on_round(sim::Round round, const std::vector<sim::Message
     if (is_challenge_round && !my_contributions_.contains(round)) {
       const std::uint64_t contribution = ctx.drbg().below(group_->q());
       my_contributions_[round] = contribution;
-      ByteWriter w;
+      ByteWriter w = ctx.writer();
       w.u64(contribution);
       ctx.broadcast(kPokChallengeTag, w.take());
     }
@@ -242,7 +242,7 @@ void VssProtocolParty::on_round(sim::Round round, const std::vector<sim::Message
       const crypto::Zq c = joint_challenge(mine.challenge);
       const crypto::SigmaResponse resp =
           crypto::sigma_respond(*my_pok_, c, *my_secret_, *my_secret_blinding_);
-      ByteWriter w;
+      ByteWriter w = ctx.writer();
       w.u64(resp.a);
       w.u64(resp.z1.value());
       w.u64(resp.z2.value());
@@ -266,7 +266,7 @@ void VssProtocolParty::on_round(sim::Round round, const std::vector<sim::Message
     // locally too - every party must evaluate the same complaint set.
     for (std::size_t d = 0; d < schedule_.n; ++d)
       if ((mask >> d) & 1u) dealers_[d].complaints.emplace(me_, false);
-    ByteWriter w;
+    ByteWriter w = ctx.writer();
     w.u64(mask);
     ctx.broadcast(kVssComplainTag, w.take());
   }
@@ -292,7 +292,7 @@ void VssProtocolParty::on_round(sim::Round round, const std::vector<sim::Message
   }
 }
 
-void VssProtocolParty::finish(const std::vector<sim::Message>& inbox, sim::PartyContext& ctx) {
+void VssProtocolParty::finish(const sim::Inbox& inbox, sim::PartyContext& ctx) {
   record(inbox, ctx);
   for (std::size_t d = 0; d < schedule_.n; ++d) {
     DealerState& dealer = dealers_[d];

@@ -45,14 +45,14 @@
 namespace simulcast::protocols {
 
 /// Message tags of the VSS skeleton (payload formats in vss_core.cpp).
-inline constexpr const char* kVssCommitTag = "vss-commit";
-inline constexpr const char* kVssShareTag = "vss-share";
-inline constexpr const char* kVssComplainTag = "vss-complain";
-inline constexpr const char* kVssJustifyTag = "vss-justify";
-inline constexpr const char* kVssRevealTag = "vss-reveal";
-inline constexpr const char* kPokCommitTag = "pok-a";
-inline constexpr const char* kPokChallengeTag = "pok-chal";
-inline constexpr const char* kPokResponseTag = "pok-resp";
+inline const sim::Tag kVssCommitTag{"vss-commit"};
+inline const sim::Tag kVssShareTag{"vss-share"};
+inline const sim::Tag kVssComplainTag{"vss-complain"};
+inline const sim::Tag kVssJustifyTag{"vss-justify"};
+inline const sim::Tag kVssRevealTag{"vss-reveal"};
+inline const sim::Tag kPokCommitTag{"pok-a"};
+inline const sim::Tag kPokChallengeTag{"pok-chal"};
+inline const sim::Tag kPokResponseTag{"pok-resp"};
 
 /// Rounds of one sigma-protocol batch (A, joint challenge, response).
 struct PokRounds {
@@ -89,9 +89,9 @@ class VssProtocolParty final : public sim::Party {
   void set_input(bool input) noexcept { input_ = input; }
 
   void begin(sim::PartyContext& ctx) override;
-  void on_round(sim::Round round, const std::vector<sim::Message>& inbox,
+  void on_round(sim::Round round, const sim::Inbox& inbox,
                 sim::PartyContext& ctx) override;
-  void finish(const std::vector<sim::Message>& inbox, sim::PartyContext& ctx) override;
+  void finish(const sim::Inbox& inbox, sim::PartyContext& ctx) override;
   [[nodiscard]] BitVec output() const override;
 
  private:
@@ -108,7 +108,7 @@ class VssProtocolParty final : public sim::Party {
     bool disqualified = false;
   };
 
-  void record(const std::vector<sim::Message>& inbox, sim::PartyContext& ctx);
+  void record(const sim::Inbox& inbox, sim::PartyContext& ctx);
   void deal(sim::PartyContext& ctx);
   void add_public_share(DealerState& state, const crypto::PedersenShare& share);
   [[nodiscard]] crypto::Zq joint_challenge(sim::Round challenge_round) const;

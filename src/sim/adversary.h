@@ -34,15 +34,17 @@ struct CorruptionInfo {
   std::uint32_t k = 0;
 };
 
-/// What the adversary observes in one round.
+/// What the adversary observes in one round.  Both views reference
+/// scheduler-owned buffers and are valid only during on_round; copy out
+/// anything that must persist across rounds.
 struct AdversaryView {
   Round round = 0;
   /// Messages delivered to corrupted parties at the start of this round.
-  std::vector<Message> delivered;
+  Inbox delivered;
   /// Same-round honest traffic the adversary may rush on: broadcasts,
   /// messages to corrupted parties, and (if channels are public) all
   /// point-to-point messages.
-  std::vector<Message> rushed;
+  Inbox rushed;
 };
 
 /// Outbox through which the adversary sends on behalf of corrupted parties.
@@ -52,10 +54,10 @@ class AdversarySender {
 
   /// Sends a point-to-point message from corrupted party `from`.
   /// Throws UsageError if `from` is not corrupted.
-  void send(PartyId from, PartyId to, std::string tag, Bytes payload);
+  void send(PartyId from, PartyId to, Tag tag, Bytes payload);
 
   /// Broadcast-channel message from corrupted party `from`.
-  void broadcast(PartyId from, std::string tag, Bytes payload);
+  void broadcast(PartyId from, Tag tag, Bytes payload);
 
   [[nodiscard]] std::vector<Message> take_outbox() noexcept { return std::move(outbox_); }
 

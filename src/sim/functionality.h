@@ -20,7 +20,7 @@ namespace simulcast::sim {
 /// Outbox restricted to the functionality's identity.
 class FunctionalitySender {
  public:
-  void send(PartyId to, std::string tag, Bytes payload);
+  void send(PartyId to, Tag tag, Bytes payload);
   [[nodiscard]] std::vector<Message> take_outbox() noexcept { return std::move(outbox_); }
 
  private:
@@ -32,10 +32,11 @@ class TrustedFunctionality {
   virtual ~TrustedFunctionality() = default;
 
   /// Called every round with messages addressed to kFunctionality that were
-  /// sent in the previous round.  The functionality's own randomness comes
-  /// from `drbg` (hidden from everyone).
-  virtual void on_round(Round round, const std::vector<Message>& inbox,
-                        crypto::HmacDrbg& drbg, FunctionalitySender& sender) = 0;
+  /// sent in the previous round (a scheduler-owned view, valid only during
+  /// the call).  The functionality's own randomness comes from `drbg`
+  /// (hidden from everyone).
+  virtual void on_round(Round round, const Inbox& inbox, crypto::HmacDrbg& drbg,
+                        FunctionalitySender& sender) = 0;
 };
 
 }  // namespace simulcast::sim

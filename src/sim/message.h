@@ -8,11 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <limits>
-#include <string>
 #include <vector>
 
 #include "base/bytes.h"
+#include "sim/tags.h"
 
 namespace simulcast::sim {
 
@@ -31,8 +32,72 @@ struct Message {
   PartyId from = 0;
   PartyId to = 0;     ///< party id, kBroadcast, or kFunctionality
   Round round = 0;    ///< round in which the message was sent
-  std::string tag;    ///< protocol-defined message type
+  Tag tag;            ///< protocol-defined message type (interned, sim/tags.h)
   Bytes payload;
+};
+
+/// A read-only view of the messages delivered to one recipient: const
+/// references into the round's arriving pool, so a broadcast fans out to
+/// n-1 recipients without n-1 payload copies.  Iterating yields
+/// `const Message&`, so protocol code written against std::vector<Message>
+/// compiles unchanged.
+///
+/// Lifetime: a view is only valid for the duration of the on_round /
+/// finish call it is passed to (the scheduler recycles the underlying
+/// buffers between rounds).  Copy out any message that must outlive the
+/// call.
+class Inbox {
+ public:
+  Inbox() = default;
+
+  /// View of an existing vector (tests and drivers that hand-build
+  /// inboxes).  The vector must outlive the view.
+  Inbox(const std::vector<Message>& messages) {  // NOLINT(google-explicit-constructor)
+    items_.reserve(messages.size());
+    for (const Message& m : messages) items_.push_back(&m);
+  }
+
+  class const_iterator {
+   public:
+    using value_type = Message;
+    using reference = const Message&;
+    using pointer = const Message*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    explicit const_iterator(const Message* const* p) : p_(p) {}
+    reference operator*() const { return **p_; }
+    pointer operator->() const { return *p_; }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++p_;
+      return tmp;
+    }
+    friend bool operator==(const_iterator a, const_iterator b) = default;
+
+   private:
+    const Message* const* p_ = nullptr;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept { return const_iterator(items_.data()); }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(items_.data() + items_.size());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] const Message& operator[](std::size_t i) const noexcept { return *items_[i]; }
+
+  // Scheduler-side assembly (reused bucket buffers; see sim/network.cpp).
+  void clear() noexcept { items_.clear(); }
+  void add(const Message& m) { items_.push_back(&m); }
+
+ private:
+  std::vector<const Message*> items_;
 };
 
 }  // namespace simulcast::sim

@@ -7,6 +7,7 @@
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/pool.h"
 
 namespace simulcast::sim {
 
@@ -18,14 +19,29 @@ bool is_corrupted(const std::vector<PartyId>& corrupted, PartyId id) {
 
 /// Per-round registry feeds (bytes-per-round / messages-per-round).  Like
 /// tracing, these only observe counters the scheduler already maintains —
-/// no seed or sample value is touched (DESIGN.md section 8).
-void record_round_metrics(std::size_t messages, std::size_t payload_bytes) {
+/// no seed or sample value is touched (DESIGN.md section 8).  Bytes are
+/// wire bytes (net::encoded_size) since the payload-only counters left
+/// with schema v6.
+void record_round_metrics(std::size_t messages, std::size_t wire_bytes) {
   static obs::Histogram& bytes =
       obs::Metrics::global().histogram("sim.bytes_per_round", 0, 4096, 64);
   static obs::Histogram& msgs =
       obs::Metrics::global().histogram("sim.messages_per_round", 0, 256, 64);
-  bytes.record(payload_bytes);
+  bytes.record(wire_bytes);
   msgs.record(messages);
+}
+
+/// Payload-pool accounting, flushed once per execution.  The per-execution
+/// counts are pure functions of the traffic, so these totals are identical
+/// across thread counts and releases for a fixed campaign (the
+/// allocation-accounting regression test pins them).
+void record_alloc_metrics(const MessagePool::Stats& stats) {
+  static obs::Counter& acquired = obs::Metrics::global().counter("sim.alloc.payload_acquired");
+  static obs::Counter& reused = obs::Metrics::global().counter("sim.alloc.payload_reused");
+  static obs::Counter& released = obs::Metrics::global().counter("sim.alloc.payload_released");
+  acquired.add(stats.acquired);
+  reused.add(stats.reused);
+  released.add(stats.released);
 }
 
 /// Fault-accounting registry feeds; recorded once per execution, only when
@@ -43,13 +59,13 @@ void record_fault_metrics(const TrafficStats& traffic) {
 
 }  // namespace
 
-void PartyContext::send(PartyId to, std::string tag, Bytes payload) {
+void PartyContext::send(PartyId to, Tag tag, Bytes payload) {
   if (to != kFunctionality && to >= n_) throw UsageError("PartyContext::send: bad destination");
-  outbox_.push_back(Message{id_, to, 0, std::move(tag), std::move(payload)});
+  outbox_.push_back(Message{id_, to, 0, tag, std::move(payload)});
 }
 
-void PartyContext::broadcast(std::string tag, Bytes payload) {
-  outbox_.push_back(Message{id_, kBroadcast, 0, std::move(tag), std::move(payload)});
+void PartyContext::broadcast(Tag tag, Bytes payload) {
+  outbox_.push_back(Message{id_, kBroadcast, 0, tag, std::move(payload)});
 }
 
 void AdversarySender::check_from(PartyId from) const {
@@ -57,18 +73,18 @@ void AdversarySender::check_from(PartyId from) const {
     throw UsageError("AdversarySender: 'from' is not a corrupted party");
 }
 
-void AdversarySender::send(PartyId from, PartyId to, std::string tag, Bytes payload) {
+void AdversarySender::send(PartyId from, PartyId to, Tag tag, Bytes payload) {
   check_from(from);
-  outbox_.push_back(Message{from, to, 0, std::move(tag), std::move(payload)});
+  outbox_.push_back(Message{from, to, 0, tag, std::move(payload)});
 }
 
-void AdversarySender::broadcast(PartyId from, std::string tag, Bytes payload) {
+void AdversarySender::broadcast(PartyId from, Tag tag, Bytes payload) {
   check_from(from);
-  outbox_.push_back(Message{from, kBroadcast, 0, std::move(tag), std::move(payload)});
+  outbox_.push_back(Message{from, kBroadcast, 0, tag, std::move(payload)});
 }
 
-void FunctionalitySender::send(PartyId to, std::string tag, Bytes payload) {
-  outbox_.push_back(Message{kFunctionality, to, 0, std::move(tag), std::move(payload)});
+void FunctionalitySender::send(PartyId to, Tag tag, Bytes payload) {
+  outbox_.push_back(Message{kFunctionality, to, 0, tag, std::move(payload)});
 }
 
 const BitVec& ExecutionResult::any_honest_output(const std::vector<PartyId>& corrupted) const {
@@ -122,12 +138,16 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   crypto::HmacDrbg adversary_drbg(config.seed, "adversary");
   crypto::HmacDrbg functionality_drbg(config.seed, "functionality");
 
-  // Machines (honest parties only).
+  // Machines (honest parties only).  All payload buffers of the execution
+  // cycle through one single-threaded pool: parties acquire via
+  // PartyContext::writer(), the scheduler releases each round's consumed
+  // deliveries back (sim/pool.h).
+  MessagePool payload_pool;
   std::vector<std::unique_ptr<Party>> machines(n);
   std::vector<PartyContext> contexts;
   contexts.reserve(n);
   for (PartyId id = 0; id < n; ++id) {
-    contexts.emplace_back(id, n, params.k, party_drbgs[id]);
+    contexts.emplace_back(id, n, params.k, party_drbgs[id], &payload_pool);
     if (!is_corrupted(corrupted, id)) machines[id] = protocol.make_party(id, inputs.get(id), params);
   }
   std::unique_ptr<TrustedFunctionality> functionality = protocol.make_functionality(params);
@@ -243,21 +263,34 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     }
   };
 
-  const auto deliver_to = [&](const std::vector<Message>& pool, PartyId id, Round at) {
-    std::vector<Message> inbox;
-    for (const Message& m : pool) {
-      if (m.to == id) {
+  // Per-recipient delivery buckets, reused across rounds.  One pass over
+  // the arriving pool builds every live machine's inbox (plus the
+  // functionality's) as pointer views — a broadcast fans out to n-1
+  // recipients with zero payload copies — preserving exactly the per-
+  // recipient ordering the old per-party scan produced: pool order, direct
+  // and broadcast messages interleaved.  Blocked deliveries are counted
+  // only for live recipients, as before (corrupted recipients are handled
+  // by the adversary-view pass below).
+  std::vector<Inbox> inboxes(n);
+  Inbox functionality_inbox;
+  const auto build_inboxes = [&](const std::vector<Message>& arriving, Round at) {
+    for (Inbox& inbox : inboxes) inbox.clear();
+    functionality_inbox.clear();
+    for (const Message& m : arriving) {
+      if (m.to == kFunctionality) {
+        functionality_inbox.add(m);
+      } else if (m.to == kBroadcast) {
+        for (PartyId id = 0; id < n; ++id)
+          if (machines[id] != nullptr && id != m.from) inboxes[id].add(m);
+      } else if (m.to < n && machines[m.to] != nullptr) {
         if (!plan.partitions.empty() && m.from != kFunctionality &&
-            link_blocked(m.from, id, at)) {
+            link_blocked(m.from, m.to, at)) {
           ++result.traffic.blocked;
           continue;
         }
-        inbox.push_back(m);
-      } else if (m.to == kBroadcast && m.from != id) {
-        inbox.push_back(m);
+        inboxes[m.to].add(m);
       }
     }
-    return inbox;
   };
 
   const auto account = [&](const std::vector<Message>& sent) {
@@ -267,15 +300,12 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       // identical on every transport backend.
       const std::size_t frame = net::encoded_size(m);
       ++result.traffic.messages;
-      result.traffic.payload_bytes += m.payload.size();
       result.traffic.wire_bytes += frame;
       if (m.to == kBroadcast) {
         ++result.traffic.broadcasts;
-        result.traffic.delivered_bytes += m.payload.size() * (n - 1);
         result.traffic.wire_delivered_bytes += frame * (n - 1);
       } else {
         ++result.traffic.point_to_point;
-        result.traffic.delivered_bytes += m.payload.size();
         result.traffic.wire_delivered_bytes += frame;
       }
     }
@@ -298,18 +328,18 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     obs::TraceSpan round_span("round");
     round_span.arg("round", round);
     const TrafficStats traffic_before = result.traffic;
-    const std::vector<Message> arriving = transport->collect(round);
+    std::vector<Message> arriving = transport->collect(round);
     std::vector<Message> sent_this_round;
 
     // 0. Crashes scheduled for this round take effect before anyone acts.
     apply_crashes(round);
 
     // 1+2. Honest parties act on their deliveries.
+    build_inboxes(arriving, round);
     for (PartyId id = 0; id < n; ++id) {
       if (!machines[id]) continue;
-      const std::vector<Message> inbox = deliver_to(arriving, id, round);
       try {
-        machines[id]->on_round(round, inbox, contexts[id]);
+        machines[id]->on_round(round, inboxes[id], contexts[id]);
       } catch (const ProtocolError&) {
         fail_party(id);
         continue;
@@ -322,11 +352,8 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
 
     // Functionality acts on its deliveries.
     if (functionality) {
-      std::vector<Message> inbox;
-      for (const Message& m : arriving)
-        if (m.to == kFunctionality) inbox.push_back(m);
       FunctionalitySender fsender;
-      functionality->on_round(round, inbox, functionality_drbg, fsender);
+      functionality->on_round(round, functionality_inbox, functionality_drbg, fsender);
       for (Message& m : fsender.take_outbox()) {
         m.round = round;
         sent_this_round.push_back(std::move(m));
@@ -349,14 +376,14 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
         continue;
       }
       if (to_corrupted || broadcast_msg || (!config.private_channels && m.to != kFunctionality))
-        view.delivered.push_back(m);
+        view.delivered.add(m);
     }
     for (const Message& m : sent_this_round) {
       const bool to_corrupted = m.to != kBroadcast && m.to != kFunctionality &&
                                 is_corrupted(corrupted, m.to);
       const bool broadcast_msg = m.to == kBroadcast;
       if (to_corrupted || broadcast_msg || (!config.private_channels && m.to != kFunctionality))
-        view.rushed.push_back(m);
+        view.rushed.add(m);
     }
     AdversarySender sender(corrupted);
     adversary.on_round(round, view, sender);
@@ -367,7 +394,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
 
     account(sent_this_round);
     const std::size_t round_messages = result.traffic.messages - traffic_before.messages;
-    const std::size_t round_bytes = result.traffic.payload_bytes - traffic_before.payload_bytes;
+    const std::size_t round_bytes = result.traffic.wire_bytes - traffic_before.wire_bytes;
     record_round_metrics(round_messages, round_bytes);
     round_span.arg("messages", round_messages);
     round_span.arg("bytes", round_bytes);
@@ -384,17 +411,20 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
                                             {"dropped", round_dropped},
                                             {"blocked", round_blocked}});
     }
+    // This round's deliveries are fully consumed (the inbox views above are
+    // dead); recycle their payload buffers for the next round's sends.
+    for (Message& m : arriving) payload_pool.release(std::move(m.payload));
   }
 
   // Final delivery.
   check_deadline(total_rounds);
   apply_crashes(total_rounds);
   const std::vector<Message> final_arriving = transport->collect(total_rounds);
+  build_inboxes(final_arriving, total_rounds);
   for (PartyId id = 0; id < n; ++id) {
     if (!machines[id]) continue;
-    const std::vector<Message> inbox = deliver_to(final_arriving, id, total_rounds);
     try {
-      machines[id]->finish(inbox, contexts[id]);
+      machines[id]->finish(inboxes[id], contexts[id]);
     } catch (const ProtocolError&) {
       fail_party(id);
     }
@@ -412,6 +442,7 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   }
   result.adversary_output = adversary.output();
   if (!plan.empty()) record_fault_metrics(result.traffic);
+  record_alloc_metrics(payload_pool.stats());
   net::record_transport_metrics(transport->stats());
   transport->close();
   return result;

@@ -62,13 +62,7 @@ struct TrafficStats {
   std::size_t messages = 0;        ///< send operations (a broadcast counts once)
   std::size_t point_to_point = 0;  ///< p2p sends
   std::size_t broadcasts = 0;      ///< broadcast-channel sends
-  // Deprecated payload-only byte accounting, kept under the old names for
-  // one schema revision (obs/records.h v5): payload sizes undercount real
-  // traffic by the per-message framing (sender, destination, round, tag).
-  // New consumers should read wire_bytes / wire_delivered_bytes.
-  std::size_t payload_bytes = 0;   ///< DEPRECATED: sum of payload sizes over sends
-  std::size_t delivered_bytes = 0; ///< DEPRECATED: payload bytes times fan-out
-  // True serialized traffic, priced with the net/wire.h frame encoding
+  // Serialized traffic, priced with the net/wire.h frame encoding
   // (net::encoded_size).  Computed per send, pre-fault, so the numbers are
   // identical on every transport backend and safe to checkpoint.
   std::size_t wire_bytes = 0;           ///< serialized frame bytes over sends

@@ -1,0 +1,68 @@
+#include "sim/tags.h"
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/error.h"
+
+namespace simulcast::sim {
+
+namespace {
+
+// Fixed capacity keeps id -> name resolution a lock-free array read.  Tags
+// are protocol vocabulary (a handful per protocol), so 4096 distinct names
+// is orders of magnitude above any legitimate use; exhausting it indicates
+// tag text is being generated from data, which would defeat interning.
+constexpr std::size_t kMaxTags = 4096;
+
+struct Interner {
+  std::mutex mu;
+  // Keys are views into `storage`, whose std::deque never moves elements.
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::deque<std::string> storage;
+  std::array<std::atomic<const std::string*>, kMaxTags> names{};
+  std::atomic<std::uint32_t> count{0};
+
+  Interner() { install(""); }
+
+  std::uint32_t install(std::string_view name) {
+    const std::uint32_t id = count.load(std::memory_order_relaxed);
+    if (id >= kMaxTags)
+      throw UsageError("Tag: intern table exhausted (" + std::to_string(kMaxTags) +
+                       " distinct tags)");
+    storage.emplace_back(name);
+    names[id].store(&storage.back(), std::memory_order_release);
+    ids.emplace(storage.back(), id);
+    count.store(id + 1, std::memory_order_release);
+    return id;
+  }
+
+  std::uint32_t intern(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    return install(name);
+  }
+};
+
+Interner& interner() {
+  static Interner table;
+  return table;
+}
+
+}  // namespace
+
+Tag::Tag(std::string_view name) : id_(interner().intern(name)) {}
+
+const std::string& Tag::str() const noexcept {
+  return *interner().names[id_].load(std::memory_order_acquire);
+}
+
+std::size_t tag_table_size() noexcept {
+  return interner().count.load(std::memory_order_acquire);
+}
+
+}  // namespace simulcast::sim

@@ -1,0 +1,76 @@
+// Interned message tags.
+//
+// Every sim::Message used to carry its protocol-defined type as a
+// std::string, which meant a heap allocation per send and a string compare
+// per dispatch.  A Tag is instead a 32-bit index into a process-wide,
+// append-only intern table: constructing a Tag from text interns the name
+// once (protocols keep `inline const Tag` constants so this happens at
+// static initialization), comparing Tags is an integer compare, and the
+// name is still available for the wire format — frames carry the spelled
+// tag, so net/wire.h is byte-identical to the std::string era and the
+// interner is invisible on the wire (tags re-intern at the decode
+// boundary).
+//
+// The table is global rather than per-execution because tag identity must
+// be stable across threads: a Message created by a worker thread round-trips
+// through checkpoints, traces and transports that outlive any single
+// execution.  Lookups by id are lock-free (an atomic pointer per slot);
+// interning takes a mutex but happens once per distinct name per process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace simulcast::sim {
+
+/// A protocol message type, interned process-wide.  Default-constructed
+/// Tags name the empty string.  Constructing from text is cheap for
+/// already-interned names (one hash lookup) and free for copies.
+class Tag {
+ public:
+  constexpr Tag() noexcept = default;
+
+  /// Interns `name` (or finds it) and binds this Tag to it.  Throws
+  /// UsageError once the table's fixed capacity is exhausted — tags are
+  /// protocol vocabulary, not data, so a run needs dozens, not thousands.
+  Tag(std::string_view name);                                    // NOLINT(google-explicit-constructor)
+  Tag(const char* name) : Tag(std::string_view(name)) {}         // NOLINT(google-explicit-constructor)
+  Tag(const std::string& name) : Tag(std::string_view(name)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+  /// The interned spelling (stable for the process lifetime).
+  [[nodiscard]] const std::string& str() const noexcept;
+
+  /// On-wire size of the spelling (net::encoded_size hot path).
+  [[nodiscard]] std::size_t size() const noexcept { return str().size(); }
+
+  friend bool operator==(Tag a, Tag b) noexcept { return a.id_ == b.id_; }
+  friend bool operator!=(Tag a, Tag b) noexcept { return a.id_ != b.id_; }
+  /// Name comparison without interning, so tests and cold paths can match
+  /// against literals that may never become Tags.
+  friend bool operator==(Tag a, std::string_view s) noexcept { return a.str() == s; }
+  friend bool operator!=(Tag a, std::string_view s) noexcept { return a.str() != s; }
+  friend bool operator==(std::string_view s, Tag a) noexcept { return a.str() == s; }
+  friend bool operator!=(std::string_view s, Tag a) noexcept { return a.str() != s; }
+  // Exact-match overloads: without them `tag == "literal"` (and the same
+  // with a std::string) is ambiguous — the text converts to both Tag and
+  // string_view.
+  friend bool operator==(Tag a, const char* s) noexcept { return a.str() == s; }
+  friend bool operator!=(Tag a, const char* s) noexcept { return a.str() != s; }
+  friend bool operator==(const char* s, Tag a) noexcept { return a.str() == s; }
+  friend bool operator!=(const char* s, Tag a) noexcept { return a.str() != s; }
+  friend bool operator==(Tag a, const std::string& s) noexcept { return a.str() == s; }
+  friend bool operator!=(Tag a, const std::string& s) noexcept { return a.str() != s; }
+  friend bool operator==(const std::string& s, Tag a) noexcept { return a.str() == s; }
+  friend bool operator!=(const std::string& s, Tag a) noexcept { return a.str() != s; }
+
+ private:
+  std::uint32_t id_ = 0;  ///< 0 is the pre-interned empty tag
+};
+
+/// Number of distinct tags interned so far (diagnostics and tests).
+[[nodiscard]] std::size_t tag_table_size() noexcept;
+
+}  // namespace simulcast::sim

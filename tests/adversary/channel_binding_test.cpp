@@ -20,8 +20,8 @@ namespace {
 /// a tag that the protocol treats as broadcast-only.
 class P2pInjector final : public sim::Adversary {
  public:
-  P2pInjector(sim::Round round, std::string tag, Bytes payload, sim::PartyId target)
-      : round_(round), tag_(std::move(tag)), payload_(std::move(payload)), target_(target) {}
+  P2pInjector(sim::Round round, sim::Tag tag, Bytes payload, sim::PartyId target)
+      : round_(round), tag_(tag), payload_(std::move(payload)), target_(target) {}
 
   void setup(const sim::CorruptionInfo& info, crypto::HmacDrbg&) override {
     corrupted_ = info.corrupted;
@@ -33,7 +33,7 @@ class P2pInjector final : public sim::Adversary {
 
  private:
   sim::Round round_;
-  std::string tag_;
+  sim::Tag tag_;
   Bytes payload_;
   sim::PartyId target_;
   std::vector<sim::PartyId> corrupted_;

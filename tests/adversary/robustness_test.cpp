@@ -19,7 +19,7 @@
 namespace simulcast::adversary {
 namespace {
 
-std::vector<std::string> tags_for(const std::string& protocol) {
+std::vector<sim::Tag> tags_for(const std::string& protocol) {
   using namespace protocols;
   if (protocol == "seq-broadcast") return {kSeqAnnounceTag};
   if (protocol == "naive-commit-reveal") return {kNcrCommitTag, kNcrOpenTag};

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Parser parity: examples/explore and the bench drivers both route their
+# option handling through exec::configure_threads' strict parser, so the
+# same garbage input must be rejected identically — exit code 2 — by both
+# front doors.  A drift here means one of them grew a lenient hand-rolled
+# path again (the bug this test pins: explore used to silently ignore
+# unknown and repeated options the drivers rejected).
+#
+# Usage: cli_parity.sh EXPLORE_BINARY BENCH_DRIVER_BINARY
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 EXPLORE_BINARY BENCH_DRIVER_BINARY" >&2
+  exit 2
+fi
+explore=$1
+driver=$2
+fail=0
+
+check() {
+  desc=$1
+  shift
+  "$explore" gennaro none uniform "$@" >/dev/null 2>&1
+  a=$?
+  "$driver" "$@" >/dev/null 2>&1
+  b=$?
+  if [ "$a" -ne 2 ] || [ "$b" -ne 2 ]; then
+    echo "FAIL [$desc]: explore exit $a, driver exit $b (want 2 from both)" >&2
+    fail=1
+  else
+    echo "ok   [$desc]: both exit 2"
+  fi
+}
+
+check "unknown option"         --bogus=1
+check "repeated option"        --threads=2 --threads=2
+check "malformed thread count" --threads=banana
+check "bad transport"          --transport=carrier-pigeon
+check "bad drop probability"   --drop=1.5
+check "empty json path"        --json=
+
+exit $fail

@@ -41,7 +41,7 @@ TEST(Session, HonestRunAnnouncesInputs) {
     EXPECT_GE(result.traffic.messages,
               result.traffic.point_to_point + result.traffic.broadcasts)
         << name;
-    EXPECT_GE(result.traffic.delivered_bytes, result.traffic.payload_bytes) << name;
+    EXPECT_GE(result.traffic.wire_delivered_bytes, result.traffic.wire_bytes) << name;
   }
 }
 

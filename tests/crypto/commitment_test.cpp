@@ -66,6 +66,26 @@ TEST_P(CommitmentSchemeTest, EmptyMessageSupported) {
   EXPECT_TRUE(scheme_->verify("p", c, op));
 }
 
+TEST_P(CommitmentSchemeTest, TruncatedAndOversizedCommitmentsRejected) {
+  // Regression pin for the hard-coded Pedersen size check: every scheme
+  // must reject a commitment whose length differs from commitment_size()
+  // in either direction, including the degenerate empty value.
+  const Opening op = scheme_->make_opening({0x01}, drbg_);
+  const Commitment good = scheme_->commit("p", op);
+  ASSERT_EQ(good.value.size(), scheme_->commitment_size());
+
+  Commitment truncated = good;
+  truncated.value.pop_back();
+  EXPECT_FALSE(scheme_->verify("p", truncated, op));
+
+  Commitment oversized = good;
+  oversized.value.push_back(0x00);
+  EXPECT_FALSE(scheme_->verify("p", oversized, op));
+
+  const Commitment empty;
+  EXPECT_FALSE(scheme_->verify("p", empty, op));
+}
+
 TEST_P(CommitmentSchemeTest, DeterministicGivenOpening) {
   const Opening op = scheme_->make_opening({0x42}, drbg_);
   EXPECT_EQ(scheme_->commit("p", op).value, scheme_->commit("p", op).value);

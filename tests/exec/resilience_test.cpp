@@ -35,8 +35,8 @@ bool same_sample(const Sample& a, const Sample& b) {
          a.traffic.messages == b.traffic.messages &&
          a.traffic.point_to_point == b.traffic.point_to_point &&
          a.traffic.broadcasts == b.traffic.broadcasts &&
-         a.traffic.payload_bytes == b.traffic.payload_bytes &&
-         a.traffic.delivered_bytes == b.traffic.delivered_bytes &&
+         a.traffic.wire_bytes == b.traffic.wire_bytes &&
+         a.traffic.wire_delivered_bytes == b.traffic.wire_delivered_bytes &&
          a.traffic.dropped == b.traffic.dropped && a.traffic.delayed == b.traffic.delayed &&
          a.traffic.blocked == b.traffic.blocked && a.traffic.crashed == b.traffic.crashed;
 }
@@ -64,8 +64,8 @@ void expect_same_canonical_report(const BatchReport& a, const BatchReport& b,
   EXPECT_EQ(a.traffic.messages, b.traffic.messages) << context;
   EXPECT_EQ(a.traffic.point_to_point, b.traffic.point_to_point) << context;
   EXPECT_EQ(a.traffic.broadcasts, b.traffic.broadcasts) << context;
-  EXPECT_EQ(a.traffic.payload_bytes, b.traffic.payload_bytes) << context;
-  EXPECT_EQ(a.traffic.delivered_bytes, b.traffic.delivered_bytes) << context;
+  EXPECT_EQ(a.traffic.wire_bytes, b.traffic.wire_bytes) << context;
+  EXPECT_EQ(a.traffic.wire_delivered_bytes, b.traffic.wire_delivered_bytes) << context;
   EXPECT_EQ(a.traffic.dropped, b.traffic.dropped) << context;
   EXPECT_EQ(a.traffic.delayed, b.traffic.delayed) << context;
   EXPECT_EQ(a.traffic.blocked, b.traffic.blocked) << context;
@@ -98,8 +98,8 @@ Sample sample_fixture(std::size_t n, std::uint64_t tweak) {
   s.traffic.messages = 10 * tweak;
   s.traffic.point_to_point = 8 * tweak;
   s.traffic.broadcasts = 2 * tweak;
-  s.traffic.payload_bytes = 100 + tweak;
-  s.traffic.delivered_bytes = 300 + tweak;
+  s.traffic.wire_bytes = 100 + tweak;
+  s.traffic.wire_delivered_bytes = 300 + tweak;
   s.traffic.dropped = tweak % 2;
   s.traffic.delayed = tweak % 3;
   s.traffic.blocked = tweak % 4;

@@ -30,8 +30,6 @@ bool same_sample(const Sample& a, const Sample& b) {
          a.traffic.messages == b.traffic.messages &&
          a.traffic.point_to_point == b.traffic.point_to_point &&
          a.traffic.broadcasts == b.traffic.broadcasts &&
-         a.traffic.payload_bytes == b.traffic.payload_bytes &&
-         a.traffic.delivered_bytes == b.traffic.delivered_bytes &&
          a.traffic.wire_bytes == b.traffic.wire_bytes &&
          a.traffic.wire_delivered_bytes == b.traffic.wire_delivered_bytes &&
          a.traffic.dropped == b.traffic.dropped && a.traffic.delayed == b.traffic.delayed &&
@@ -347,8 +345,6 @@ TEST(SessionBatch, MatchesSerialSessions) {
     EXPECT_EQ(batch.results[i].traffic.messages, one.traffic.messages) << i;
     EXPECT_EQ(batch.results[i].traffic.point_to_point, one.traffic.point_to_point) << i;
     EXPECT_EQ(batch.results[i].traffic.broadcasts, one.traffic.broadcasts) << i;
-    EXPECT_EQ(batch.results[i].traffic.payload_bytes, one.traffic.payload_bytes) << i;
-    EXPECT_EQ(batch.results[i].traffic.delivered_bytes, one.traffic.delivered_bytes) << i;
     EXPECT_EQ(batch.results[i].traffic.wire_bytes, one.traffic.wire_bytes) << i;
     EXPECT_EQ(batch.results[i].traffic.wire_delivered_bytes, one.traffic.wire_delivered_bytes) << i;
   }

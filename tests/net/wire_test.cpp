@@ -28,8 +28,10 @@ sim::Message random_message(stats::Rng& rng) {
   }
   m.round = rng.below(1u << 20);
   const std::size_t tag_len = rng.below(33);
+  std::string tag;
   for (std::size_t i = 0; i < tag_len; ++i)
-    m.tag.push_back(static_cast<char>(rng.below(256)));
+    tag.push_back(static_cast<char>(rng.below(256)));
+  m.tag = sim::Tag(tag);
   const std::size_t payload_len = rng.below(4097);
   for (std::size_t i = 0; i < payload_len; ++i)
     m.payload.push_back(static_cast<std::uint8_t>(rng.below(256)));
@@ -67,8 +69,10 @@ sim::Message shrink_failing(sim::Message m) {
     for (const bool shrink_tag : {true, false}) {
       sim::Message candidate = m;
       if (shrink_tag) {
-        if (candidate.tag.empty()) continue;
-        candidate.tag.resize(candidate.tag.size() / 2);
+        if (candidate.tag.size() == 0) continue;
+        std::string tag = candidate.tag.str();
+        tag.resize(tag.size() / 2);
+        candidate.tag = sim::Tag(tag);
       } else {
         if (candidate.payload.empty()) continue;
         candidate.payload.resize(candidate.payload.size() / 2);

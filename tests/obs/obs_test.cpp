@@ -104,7 +104,7 @@ TEST(Json, BuilderRejectsMalformedDocuments) {
 ExperimentRecord golden_record() {
   ExperimentRecord rec;
   rec.id = "E0/golden";
-  rec.paper_claim = "schema fixture: field layout of record schema v5";
+  rec.paper_claim = "schema fixture: field layout of record schema v6";
   rec.setup = "hand-built record with \"quotes\", back\\slash and tab\there";
   rec.reproduced = true;
   rec.detail = "2 cells, 1 statistic + 1 check";
@@ -133,10 +133,8 @@ ExperimentRecord golden_record() {
   rec.perf.report.traffic.messages = 448;
   rec.perf.report.traffic.point_to_point = 384;
   rec.perf.report.traffic.broadcasts = 64;
-  rec.perf.report.traffic.payload_bytes = 1024;
-  rec.perf.report.traffic.delivered_bytes = 4096;
-  // Wire accounting (schema v5): frame bytes exceed the deprecated
-  // payload-only counts by the per-message framing overhead.
+  // Wire accounting: serialized frame bytes are the only byte counts since
+  // schema v6 dropped the payload-only counters.
   rec.perf.report.traffic.wire_bytes = 17600;
   rec.perf.report.traffic.wire_delivered_bytes = 23040;
   rec.perf.report.traffic.dropped = 7;

@@ -163,19 +163,21 @@ struct Golden {
   std::size_t n;
   std::size_t rounds;
   std::size_t messages;
-  std::size_t payload_bytes;
+  std::size_t wire_bytes;
   const char* announced;
 };
 
+// wire_bytes price every message at net::encoded_size (frame overhead +
+// tag + payload), the schema-v6 accounting.
 constexpr Golden kGolden[] = {
-    {"seq-broadcast", 4, 4, 4, 4, "0101"},
-    {"cgma", 4, 7, 36, 976, "0101"},
-    {"chor-rabin", 4, 10, 52, 1168, "0101"},
-    {"gennaro", 4, 4, 36, 976, "0101"},
-    {"naive-commit-reveal", 4, 2, 8, 292, "0101"},
-    {"flawed-pi-g", 4, 2, 8, 40, "0101"},
-    {"flawed-pi-g-mpc", 4, 4, 56, 2084, "0101"},
-    {"seq-broadcast-ds", 3, 12, 27, 834138, "010"},
+    {"seq-broadcast", 4, 4, 4, 200, "0101"},
+    {"cgma", 4, 7, 36, 2664, "0101"},
+    {"chor-rabin", 4, 10, 52, 3564, "0101"},
+    {"gennaro", 4, 4, 36, 2664, "0101"},
+    {"naive-commit-reveal", 4, 2, 8, 660, "0101"},
+    {"flawed-pi-g", 4, 2, 8, 428, "0101"},
+    {"flawed-pi-g-mpc", 4, 4, 56, 4748, "0101"},
+    {"seq-broadcast-ds", 3, 12, 27, 835344, "010"},
 };
 
 TEST_P(FaultInvariantsTest, EmptyPlanReproducesGoldenOutputs) {
@@ -197,7 +199,7 @@ TEST_P(FaultInvariantsTest, EmptyPlanReproducesGoldenOutputs) {
 
   EXPECT_EQ(result.rounds, golden->rounds);
   EXPECT_EQ(result.traffic.messages, golden->messages);
-  EXPECT_EQ(result.traffic.payload_bytes, golden->payload_bytes);
+  EXPECT_EQ(result.traffic.wire_bytes, golden->wire_bytes);
   ASSERT_TRUE(announced.consistent);
   EXPECT_EQ(announced.w, BitVec::from_string(golden->announced));
   EXPECT_EQ(result.traffic.dropped, 0u);
@@ -224,7 +226,7 @@ TEST_P(FaultInvariantsTest, InertPlanIsByteIdenticalToEmptyPlan) {
     EXPECT_EQ(baseline.outputs[id], faulty.outputs[id]) << "party " << id;
   EXPECT_EQ(baseline.adversary_output, faulty.adversary_output);
   EXPECT_EQ(baseline.traffic.messages, faulty.traffic.messages);
-  EXPECT_EQ(baseline.traffic.payload_bytes, faulty.traffic.payload_bytes);
+  EXPECT_EQ(baseline.traffic.wire_bytes, faulty.traffic.wire_bytes);
   EXPECT_EQ(faulty.traffic.dropped, 0u);
   EXPECT_EQ(faulty.traffic.blocked, 0u);
   ASSERT_EQ(baseline.trace.size(), faulty.trace.size());

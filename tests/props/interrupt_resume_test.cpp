@@ -29,8 +29,8 @@ bool same_sample(const exec::Sample& a, const exec::Sample& b) {
          a.traffic.messages == b.traffic.messages &&
          a.traffic.point_to_point == b.traffic.point_to_point &&
          a.traffic.broadcasts == b.traffic.broadcasts &&
-         a.traffic.payload_bytes == b.traffic.payload_bytes &&
-         a.traffic.delivered_bytes == b.traffic.delivered_bytes &&
+         a.traffic.wire_bytes == b.traffic.wire_bytes &&
+         a.traffic.wire_delivered_bytes == b.traffic.wire_delivered_bytes &&
          a.traffic.dropped == b.traffic.dropped && a.traffic.delayed == b.traffic.delayed &&
          a.traffic.blocked == b.traffic.blocked && a.traffic.crashed == b.traffic.crashed;
 }

@@ -61,7 +61,7 @@ TEST(SeqDolevStrong, NoBroadcastChannelUsed) {
   const auto result =
       sim::run_execution(proto, params_for(4), BitVec::from_string("1010"), adv, config);
   EXPECT_GT(result.traffic.point_to_point, result.traffic.broadcasts);
-  EXPECT_GT(result.traffic.payload_bytes, 100000u);  // Lamport chains are heavy
+  EXPECT_GT(result.traffic.wire_bytes, 100000u);  // Lamport chains are heavy
 }
 
 TEST(SeqDolevStrong, DeterministicPerSeed) {

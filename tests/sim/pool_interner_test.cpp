@@ -1,0 +1,204 @@
+// Unit tests for the hot-path allocation machinery: the per-execution
+// payload pool (sim/pool.h), the interned-tag table (sim/tags.h), and the
+// allocation-accounting regression pin — sim.alloc.* must be a pure
+// function of the traffic for a fixed campaign, or the pool has started
+// leaking nondeterminism into the steady state.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sim/network.h"
+#include "sim/pool.h"
+#include "sim/tags.h"
+
+namespace simulcast::sim {
+namespace {
+
+// ------------------------------------------------------------ MessagePool --
+
+TEST(MessagePool, AcquireGrowsWhenFreeListIsExhausted) {
+  MessagePool pool;
+  Bytes a = pool.acquire();  // empty free list: fresh buffer, no reuse
+  Bytes b = pool.acquire();
+  EXPECT_EQ(pool.stats().acquired, 2u);
+  EXPECT_EQ(pool.stats().reused, 0u);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().released, 2u);
+  EXPECT_EQ(pool.free_count(), 2u);
+}
+
+TEST(MessagePool, ReusesReleasedCapacity) {
+  MessagePool pool;
+  Bytes buf = pool.acquire();
+  buf.assign(512, 0xAB);
+  const std::uint8_t* data = buf.data();
+  pool.release(std::move(buf));
+
+  Bytes again = pool.acquire();
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_TRUE(again.empty());          // contents cleared on release
+  EXPECT_GE(again.capacity(), 512u);   // capacity kept
+  EXPECT_EQ(again.data(), data);       // same heap block, not a fresh one
+}
+
+TEST(MessagePool, ReuseAfterResetStartsAFreshAccountingWindow) {
+  MessagePool pool;
+  pool.release(pool.acquire());
+  ASSERT_EQ(pool.free_count(), 1u);
+
+  pool.reset();
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.stats().acquired, 0u);
+  EXPECT_EQ(pool.stats().reused, 0u);
+  EXPECT_EQ(pool.stats().released, 0u);
+
+  // Post-reset acquires allocate fresh (the free list was dropped) and the
+  // counters describe only the new window.
+  Bytes buf = pool.acquire();
+  EXPECT_EQ(pool.stats().acquired, 1u);
+  EXPECT_EQ(pool.stats().reused, 0u);
+}
+
+TEST(MessagePool, AdoptsForeignBuffers) {
+  MessagePool pool;
+  Bytes foreign(64, 0x7F);  // never came from the pool
+  pool.release(std::move(foreign));
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_GE(pool.acquire().capacity(), 64u);
+}
+
+// -------------------------------------------------------------------- Tag --
+
+TEST(Tags, SameNameSameIdDistinctNamesDistinctIds) {
+  const Tag a1{"pool-test-alpha"};
+  const Tag a2{"pool-test-alpha"};
+  const Tag b{"pool-test-beta"};
+  EXPECT_EQ(a1.id(), a2.id());
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1.id(), b.id());
+  EXPECT_NE(a1, b);
+}
+
+TEST(Tags, InterningIsIdempotentOnTableSize) {
+  const Tag first{"pool-test-idempotent"};
+  const std::size_t size = tag_table_size();
+  const Tag second{"pool-test-idempotent"};
+  EXPECT_EQ(tag_table_size(), size);  // re-interning allocates nothing
+  EXPECT_EQ(first, second);
+}
+
+TEST(Tags, NearMissNamesDoNotCollide) {
+  // The interner maps names, not hashes: visually close spellings and
+  // prefix/suffix pairs must all land on distinct ids.
+  const std::vector<std::string> names = {"pool-x", "pool-x ", "pool-X", "pool-x0",
+                                          "pool",   "pool-",   "pool-xx"};
+  std::vector<Tag> tags;
+  for (const std::string& name : names) tags.emplace_back(name);
+  for (std::size_t i = 0; i < tags.size(); ++i)
+    for (std::size_t j = i + 1; j < tags.size(); ++j)
+      EXPECT_NE(tags[i].id(), tags[j].id()) << names[i] << " vs " << names[j];
+  for (std::size_t i = 0; i < tags.size(); ++i) EXPECT_EQ(tags[i].str(), names[i]);
+}
+
+TEST(Tags, DefaultTagIsTheEmptyString) {
+  const Tag empty;
+  EXPECT_EQ(empty.id(), 0u);
+  EXPECT_EQ(empty.str(), "");
+  EXPECT_EQ(empty, Tag{""});
+}
+
+TEST(Tags, ComparesAgainstTextWithoutInterning) {
+  const Tag t{"pool-test-text-compare"};
+  const std::size_t size = tag_table_size();
+  EXPECT_TRUE(t == std::string_view("pool-test-text-compare"));
+  EXPECT_TRUE(std::string_view("pool-test-other") != t);
+  EXPECT_EQ(tag_table_size(), size);  // string_view comparison interns nothing
+}
+
+// -------------------------------------------- allocation-accounting pin ----
+
+// A 4-round protocol whose payloads go through ctx.writer(), i.e. the
+// pooled path: every round each party broadcasts a round-stamped word.
+class ChattyParty final : public Party {
+ public:
+  void on_round(Round round, const Inbox& inbox, PartyContext& ctx) override {
+    heard_ += inbox.size();
+    ByteWriter w = ctx.writer();
+    w.u64(round);
+    ctx.broadcast("pool-test-chatter", w.take());
+  }
+  void finish(const Inbox& inbox, PartyContext&) override { heard_ += inbox.size(); }
+  [[nodiscard]] BitVec output() const override { return BitVec(1, heard_ % 2); }
+
+ private:
+  std::size_t heard_ = 0;
+};
+
+class ChattyProtocol final : public ParallelBroadcastProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "pool-test-chatty"; }
+  [[nodiscard]] std::size_t rounds(std::size_t) const override { return 4; }
+  [[nodiscard]] std::unique_ptr<Party> make_party(PartyId, bool,
+                                                  const ProtocolParams&) const override {
+    return std::make_unique<ChattyParty>();
+  }
+};
+
+class IdleAdversary final : public Adversary {
+ public:
+  void setup(const CorruptionInfo&, crypto::HmacDrbg&) override {}
+  void on_round(Round, const AdversaryView&, AdversarySender&) override {}
+};
+
+std::uint64_t counter_value(const std::string& name) {
+  for (const auto& c : obs::Metrics::global().snapshot().counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+/// The sim.alloc.* deltas of one execution are a pure function of
+/// (protocol, inputs, seed): replaying the execution must add exactly the
+/// same counts, and every acquired buffer beyond the first-round warm-up
+/// must come from the free list.
+TEST(AllocAccounting, CountersAreFlatAcrossIdenticalExecutions) {
+  const auto run_once = [] {
+    ChattyProtocol proto;
+    ProtocolParams params;
+    params.n = 5;
+    IdleAdversary adv;
+    ExecutionConfig config;
+    config.seed = 0xA110C;
+    const auto result = run_execution(proto, params, BitVec(5), adv, config);
+    ASSERT_EQ(result.outputs.size(), 5u);
+  };
+
+  const std::uint64_t acquired0 = counter_value("sim.alloc.payload_acquired");
+  const std::uint64_t reused0 = counter_value("sim.alloc.payload_reused");
+  const std::uint64_t released0 = counter_value("sim.alloc.payload_released");
+  run_once();
+  const std::uint64_t acquired1 = counter_value("sim.alloc.payload_acquired");
+  const std::uint64_t reused1 = counter_value("sim.alloc.payload_reused");
+  const std::uint64_t released1 = counter_value("sim.alloc.payload_released");
+  run_once();
+  const std::uint64_t acquired2 = counter_value("sim.alloc.payload_acquired");
+  const std::uint64_t reused2 = counter_value("sim.alloc.payload_reused");
+  const std::uint64_t released2 = counter_value("sim.alloc.payload_released");
+
+  // Identical executions, identical deltas — the regression this pins is a
+  // pool whose behaviour depends on anything but the traffic.
+  EXPECT_EQ(acquired1 - acquired0, acquired2 - acquired1);
+  EXPECT_EQ(reused1 - reused0, reused2 - reused1);
+  EXPECT_EQ(released1 - released0, released2 - released1);
+  // The protocol sends every round, so the pool did real work...
+  EXPECT_GT(acquired1, acquired0);
+  // ...and the closed acquire/release loop recycles: after the first
+  // round's warm-up allocations every later acquire is a reuse.
+  EXPECT_GT(reused1, reused0);
+}
+
+}  // namespace
+}  // namespace simulcast::sim
