@@ -36,27 +36,39 @@
 # wire bytes, because the backend moves bytes without changing what an
 # execution computes — and (c) the socket record's metrics block shows real
 # kernel traffic (a nonzero net.bytes_on_wire counter).
+#
+# With --status, each driver instead exercises the live-telemetry stream
+# (DESIGN.md section 13): run with --json plus a fast heartbeat
+# (--status=FILE --status-interval=$STATUS_INTERVAL, default 0.05s) and then
+# require that every heartbeat line parses as JSON, "completed" is monotone
+# nondecreasing across the stream, every campaign id is a 16-hex
+# correlation id, the last line is flagged "final", and its "completed"
+# equals the total perf.completed of the records the driver wrote — the
+# stream and the record agree on how much work was done.
 set -u
 
 want_trace=0
 want_faults=0
 want_resume=0
 want_socket=0
+want_status=0
 while [ "${1:-}" = "--trace" ] || [ "${1:-}" = "--faults" ] || [ "${1:-}" = "--resume" ] ||
-      [ "${1:-}" = "--socket" ]; do
+      [ "${1:-}" = "--socket" ] || [ "${1:-}" = "--status" ]; do
   case $1 in
     --trace) want_trace=1 ;;
     --faults) want_faults=1 ;;
     --resume) want_resume=1 ;;
     --socket) want_socket=1 ;;
+    --status) want_status=1 ;;
   esac
   shift
 done
 drop_rate=${FAULT_DROP:-0.05}
 resume_stop=${RESUME_STOP:-3}
+status_interval=${STATUS_INTERVAL:-0.05}
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 [--trace] [--faults] [--resume] [--socket] OUT_DIR [DRIVER...]" >&2
+  echo "usage: $0 [--trace] [--faults] [--resume] [--socket] [--status] OUT_DIR [DRIVER...]" >&2
   exit 2
 fi
 
@@ -171,6 +183,81 @@ bytes_on_wire = rec["metrics"]["counters"].get("net.bytes_on_wire", 0)
 assert bytes_on_wire > 0, "net.bytes_on_wire is zero: no frame crossed the kernel"
 EOF
 }
+
+# Heartbeat-stream honesty: every line parses, completed never decreases,
+# campaign ids are 16-hex correlation ids, the stream ends on a "final"
+# beat, and that beat's completed matches the records' completed total.
+check_status_stream() {
+  python3 - "$@" 2>&1 <<'EOF'
+import json, re, sys
+
+status_path, record_paths = sys.argv[1], sys.argv[2:]
+beats = []
+with open(status_path) as stream:
+    for lineno, line in enumerate(stream, 1):
+        if not line.strip():
+            continue
+        try:
+            beats.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            sys.exit(f"  line {lineno} is not JSON: {err}")
+if not beats:
+    sys.exit(f"  {status_path} carries no heartbeat")
+
+prev = -1
+for i, beat in enumerate(beats, 1):
+    completed = beat["completed"]
+    if completed < prev:
+        sys.exit(f"  beat {i}: completed went backwards ({prev} -> {completed})")
+    prev = completed
+    campaign = beat["campaign"]
+    if campaign is not None and not re.fullmatch(r"[0-9a-f]{16}", campaign):
+        sys.exit(f"  beat {i}: campaign {campaign!r} is not a 16-hex correlation id")
+
+last = beats[-1]
+if last.get("final") is not True:
+    sys.exit("  stream does not end on a final heartbeat")
+record_completed = sum(
+    json.load(open(p))["perf"]["completed"] for p in record_paths)
+if last["completed"] != record_completed:
+    sys.exit(f"  final completed {last['completed']} != records' total {record_completed}")
+EOF
+}
+
+if [ "$want_status" -eq 1 ]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "collect.sh: --status needs python3 for heartbeat checks" >&2
+    exit 2
+  fi
+  failures=0
+  for driver in "${drivers[@]}"; do
+    name=$(basename "$driver")
+    json_dir=$out_dir/status_$name
+    status_file=$out_dir/STATUS_$name.jsonl
+    rm -rf "$json_dir" "$status_file"
+    mkdir -p "$json_dir"
+
+    if ! "$driver" --json="$json_dir" --status="$status_file" \
+         --status-interval="$status_interval"; then
+      echo "collect.sh: FAIL $name (--status run exited nonzero)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if [ ! -f "$status_file" ]; then
+      echo "collect.sh: FAIL $name (wrote no status stream at $status_file)" >&2
+      failures=$((failures + 1))
+      continue
+    fi
+    if ! check_status_stream "$status_file" "$json_dir"/BENCH_*.json; then
+      echo "collect.sh: FAIL $name (heartbeat stream $status_file is dishonest)" >&2
+      failures=$((failures + 1))
+    fi
+  done
+  count=${#drivers[@]}
+  echo "collect.sh: $((count - failures))/$count drivers streamed honest heartbeats, records in $out_dir"
+  [ "$failures" -eq 0 ]
+  exit
+fi
 
 if [ "$want_socket" -eq 1 ]; then
   if ! command -v python3 >/dev/null 2>&1; then

@@ -6,7 +6,9 @@
 
 #include "base/error.h"
 #include "net/transport.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 
 namespace simulcast::core {
@@ -126,6 +128,12 @@ std::string describe(const obs::MetricsSnapshot& m) {
     os << "[metrics] " << h.name << ": count=" << h.count << " mean=" << fmt(h.mean(), 1)
        << " range=[" << h.lo << "," << h.hi << ") underflow=" << h.underflow
        << " overflow=" << h.overflow;
+    // Percentiles are undefined (NaN) for an empty histogram; printing
+    // them would be noise, so the tail appears only with data.
+    if (h.count > 0) {
+      os << " p50=" << fmt(h.percentile(0.50), 1) << " p95=" << fmt(h.percentile(0.95), 1)
+         << " p99=" << fmt(h.percentile(0.99), 1);
+    }
   }
   return os.str();
 }
@@ -153,6 +161,9 @@ exec::BatchReport merge(const exec::BatchReport& a, const exec::BatchReport& b) 
   out.phases.sampling = a.phases.sampling + b.phases.sampling;
   out.phases.execution = a.phases.execution + b.phases.execution;
   out.phases.evaluation = a.phases.evaluation + b.phases.evaluation;
+  // A merged report spans several campaigns; keep the first batch's id as
+  // the representative (metadata.campaigns in the record lists them all).
+  out.campaign = a.campaign != 0 ? a.campaign : b.campaign;
   return out;
 }
 
@@ -182,6 +193,12 @@ int finish_experiment(const obs::ExperimentRecord& record) {
   if (full.faults.empty()) full.faults = exec::default_fault_plan();
   if (full.transport.empty())
     full.transport = std::string(net::transport_kind_name(net::default_transport_kind()));
+  // Campaign correlation ids (schema v7): every batch that ran in this
+  // process, in batch order — the join key between this record and its
+  // trace/log/status artifacts.
+  if (full.campaigns.empty())
+    for (const std::uint64_t id : obs::campaigns_seen())
+      full.campaigns.push_back(obs::correlation_hex(id));
   // A graceful stop (SIGINT/SIGTERM or --stop-after) flushes the record in
   // whatever state the drain left it; flag it so consumers know the
   // verdicts rest on fewer samples than the setup advertises.
@@ -195,6 +212,10 @@ int finish_experiment(const obs::ExperimentRecord& record) {
   if (!written.empty()) std::cout << "[obs] wrote " << written << "\n";
   const std::string trace_written = obs::write_trace(full.id);
   if (!trace_written.empty()) std::cout << "[obs] wrote " << trace_written << "\n";
+  const std::string log_written = obs::flush_log();
+  if (!log_written.empty()) std::cout << "[obs] wrote " << log_written << "\n";
+  const std::string status_written = obs::flush_status();
+  if (!status_written.empty()) std::cout << "[obs] wrote " << status_written << "\n";
   return full.reproduced ? 0 : 1;
 }
 

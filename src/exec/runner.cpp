@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
@@ -15,7 +16,9 @@
 #include "broadcast/parallel_broadcast.h"
 #include "exec/checkpoint.h"
 #include "net/transport.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 
 namespace simulcast::exec {
@@ -171,9 +174,12 @@ CampaignIdentity compute_identity(const RunSpec& spec,
 /// One resilient repetition: watchdog deadline per attempt, bounded retry
 /// with exponential backoff for transient errors, everything else (and
 /// retry exhaustion) reported as a quarantine reason.  Returns true and
-/// fills `sample` on success.
+/// fills `sample` on success.  `rep` and `retry_count` feed telemetry only
+/// (log events, heartbeat retry totals).
 bool attempt_repetition(const RunSpec& spec, const BitVec& input, std::uint64_t exec_seed,
-                        const BatchOptions& options, Sample& sample, std::string& reason) {
+                        const BatchOptions& options, std::size_t rep,
+                        std::atomic<std::size_t>& retry_count, Sample& sample,
+                        std::string& reason) {
   const int max_attempts = options.retries < 0 ? 1 : options.retries + 1;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     // Each attempt gets a fresh wall-clock budget: a retry that inherited an
@@ -191,6 +197,9 @@ bool attempt_repetition(const RunSpec& spec, const BitVec& input, std::uint64_t 
       // A stuck repetition is deterministic under the purity contract:
       // retrying it would stick again.  Quarantine immediately.
       reason = std::string("timeout: ") + e.what();
+      if (obs::log_enabled())
+        obs::log_event(obs::LogLevel::kWarn, "rep-watchdog", {{"rep", rep}, {"seed", exec_seed}},
+                       reason);
       return false;
     } catch (const std::bad_alloc&) {
       reason = "transient: std::bad_alloc";
@@ -203,6 +212,12 @@ bool attempt_repetition(const RunSpec& spec, const BitVec& input, std::uint64_t 
       return false;
     }
     if (attempt + 1 < max_attempts) {
+      retry_count.fetch_add(1, std::memory_order_relaxed);
+      obs::Metrics::global().counter("exec.retries").add(1);
+      if (obs::log_enabled())
+        obs::log_event(obs::LogLevel::kInfo, "rep-retry",
+                       {{"rep", rep}, {"attempt", static_cast<std::uint64_t>(attempt + 1)}},
+                       reason);
       // 1ms, 2ms, 4ms, ... capped at 64ms: enough to let a transient
       // resource squeeze clear without stalling the whole worker pool.
       std::this_thread::sleep_for(std::chrono::milliseconds(1LL << std::min(attempt, 6)));
@@ -246,11 +261,28 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
     throw UsageError("exec::Runner: --resume requires a --checkpoint path");
   }
 
-  CampaignIdentity identity;
+  // The identity digest doubles as the batch's campaign correlation id
+  // (obs/log.h), so it is computed for every batch now, not only for
+  // checkpointed ones — the hash is O(count) and vanishes next to running
+  // the repetitions.
+  const CampaignIdentity identity = compute_identity(spec, input_for, seeds);
+  const std::uint64_t campaign = identity.digest();
+  out.report.campaign = campaign;
+  obs::set_current_campaign(campaign);
+  obs::note_campaign(campaign);
+
+  // Live progress published for the status reporter (and the heartbeat's
+  // retry totals).  Relaxed is enough: heartbeats are approximate, the
+  // authoritative accounting below reads the slot states.
+  std::atomic<std::size_t> completed_count{0};
+  std::atomic<std::size_t> quarantined_count{0};
+  std::atomic<std::size_t> retried_count{0};
+  std::atomic<std::uint64_t> last_exec_id{0};
+  std::size_t restored = 0;
+
   std::string checkpoint_file;
   double prior_elapsed = 0.0;
   if (checkpointing) {
-    identity = compute_identity(spec, input_for, seeds);
     checkpoint_file = resolve_checkpoint_path(options.checkpoint_path, identity);
     if (options.resume) {
       if (std::optional<CheckpointData> loaded = load_checkpoint(checkpoint_file)) {
@@ -264,11 +296,19 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
         for (SlotRecord& record : loaded->slots) {
           out.samples[record.slot] = std::move(record.sample);
           status[record.slot].store(kDone, std::memory_order_relaxed);
+          ++restored;
         }
         for (QuarantineRecord& record : loaded->quarantined) {
           status[record.rep].store(kQuarantined, std::memory_order_relaxed);
           quarantined.push_back(std::move(record));
         }
+        completed_count.store(restored, std::memory_order_relaxed);
+        quarantined_count.store(quarantined.size(), std::memory_order_relaxed);
+        obs::Metrics::global().counter("exec.restored_slots").add(restored);
+        if (obs::log_enabled())
+          obs::log_event(obs::LogLevel::kInfo, "checkpoint-resume",
+                         {{"restored", restored}, {"quarantined", quarantined.size()}},
+                         checkpoint_file);
       }
       // No file: a fresh campaign run with --resume already on its command
       // line — the normal way to launch "run until done, however many
@@ -295,20 +335,52 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
       data.quarantined = quarantined;
     }
     write_checkpoint(checkpoint_file, data);
+    if (obs::log_enabled())
+      obs::log_event(obs::LogLevel::kDebug, "checkpoint-flush",
+                     {{"slots", data.slots.size()}, {"quarantined", data.quarantined.size()}},
+                     checkpoint_file);
   };
+
+  if (obs::log_enabled())
+    obs::log_event(obs::LogLevel::kInfo, "batch-begin",
+                   {{"reps", count}, {"threads", out.report.threads}, {"restored", restored}});
+  // One heartbeat reporter per batch when a status sink is configured.  It
+  // only reads the atomics above and the metrics registry; destroyed (with
+  // a final beat) before the batch report is sealed.
+  std::optional<obs::StatusReporter> reporter;
+  if (obs::status_enabled() && count > 0) {
+    obs::StatusBatchInfo info;
+    info.campaign = campaign;
+    info.total = count;
+    info.restored = restored;
+    info.completed = &completed_count;
+    info.attempted = &finished_this_run;
+    info.quarantined = &quarantined_count;
+    info.retried = &retried_count;
+    info.last_exec = &last_exec_id;
+    info.throughput_guard = &safe_throughput;
+    reporter.emplace(info, obs::default_status_path(), obs::default_status_interval());
+  }
 
   {
     const ScopedPhase timer(out.report.phases.execution, "execution");
     parallel_for(count, threads, [&](std::size_t rep) {
       if (status[rep].load(std::memory_order_relaxed) != kPending) return;  // restored
       if (shutdown_requested()) return;  // drain: leave the slot pending
+      // Pure function of (campaign, rep): the same execution carries the
+      // same id across thread counts, resume and processes.
+      const std::uint64_t exec_id = obs::exec_correlation_id(campaign, rep);
+      obs::set_current_exec(exec_id);
       obs::TraceSpan span("rep");
+      span.arg("campaign", campaign);
+      span.arg("exec", exec_id);
       span.arg("rep", rep);
       const auto start = std::chrono::steady_clock::now();
       if (options.quarantine) {
         Sample sample;
         std::string reason;
-        if (attempt_repetition(spec, input_for(rep), seeds[rep], options, sample, reason)) {
+        if (attempt_repetition(spec, input_for(rep), seeds[rep], options, rep, retried_count,
+                               sample, reason)) {
           out.samples[rep] = std::move(sample);
           const auto elapsed = std::chrono::steady_clock::now() - start;
           record_repetition_metrics(
@@ -317,12 +389,18 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
                   std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
           span.arg("rounds", out.samples[rep].rounds);
           status[rep].store(kDone, std::memory_order_release);
+          completed_count.fetch_add(1, std::memory_order_relaxed);
         } else {
           {
             const std::lock_guard<std::mutex> lock(quarantine_mutex);
             quarantined.push_back({rep, seeds[rep], reason});
           }
           status[rep].store(kQuarantined, std::memory_order_release);
+          quarantined_count.fetch_add(1, std::memory_order_relaxed);
+          obs::Metrics::global().counter("exec.quarantined").add(1);
+          if (obs::log_enabled())
+            obs::log_event(obs::LogLevel::kWarn, "rep-quarantine",
+                           {{"rep", rep}, {"seed", seeds[rep]}}, reason);
         }
       } else {
         // Legacy contract: a throwing repetition aborts the batch through
@@ -335,7 +413,10 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
                 std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
         span.arg("rounds", out.samples[rep].rounds);
         status[rep].store(kDone, std::memory_order_release);
+        completed_count.fetch_add(1, std::memory_order_relaxed);
       }
+      last_exec_id.store(exec_id, std::memory_order_relaxed);
+      obs::set_current_exec(0);
       note_completed_repetition();
       const std::size_t done_now = finished_this_run.fetch_add(1, std::memory_order_relaxed) + 1;
       if (checkpointing && options.checkpoint_every > 0 &&
@@ -367,6 +448,9 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
     s.announced = BitVec(spec.params.n);
     s.consistent = false;
   }
+  // Final heartbeat (and TTY line cleanup) before the report is sealed.
+  reporter.reset();
+
   std::sort(quarantined.begin(), quarantined.end(),
             [](const QuarantineRecord& a, const QuarantineRecord& b) { return a.rep < b.rep; });
 
@@ -388,6 +472,15 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
     out.report.traffic.crashed += s.traffic.crashed;
   }
 
+  if (obs::log_enabled()) {
+    if (out.report.partial)
+      obs::log_event(obs::LogLevel::kWarn, "shutdown-drain",
+                     {{"completed", done}, {"pending", pending}});
+    else
+      obs::log_event(obs::LogLevel::kInfo, "batch-end",
+                     {{"completed", done}, {"quarantined", out.report.quarantine.size()}});
+  }
+
   if (checkpointing) {
     if (out.report.partial) {
       flush_checkpoint();  // final flush so an interrupted batch can resume
@@ -395,6 +488,13 @@ BatchResult run_prepared(const RunSpec& spec, std::size_t threads, const BatchOp
       remove_checkpoint(checkpoint_file);  // campaign complete: nothing to resume
     }
   }
+  if (out.report.partial) {
+    // A drained batch may never reach finish_experiment (the driver decides
+    // what to do after a graceful stop); land every configured telemetry
+    // sink on disk now so the interrupt loses no observability either.
+    obs::flush_sinks();
+  }
+  obs::set_current_campaign(0);
   return out;
 }
 
@@ -532,7 +632,8 @@ std::size_t configure_threads(int argc, char** argv,
     std::fprintf(stderr,
                  "error: %s\n"
                  "usage: %s [--threads=N] [--transport=inproc|socket] [--json=PATH] "
-                 "[--trace=PATH] [--drop=P] [--delay=R] [--crash=party@round,...] "
+                 "[--trace=PATH] [--log=PATH] [--status=PATH] [--status-interval=S] "
+                 "[--drop=P] [--delay=R] [--crash=party@round,...] "
                  "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
                  "[--stop-after=K]\n",
                  detail.c_str(), program);
@@ -584,6 +685,33 @@ std::size_t configure_threads(int argc, char** argv,
         std::exit(2);
       }
       obs::set_default_trace_path(path);
+    } else if (arg.rfind("--log=", 0) == 0) {
+      check_duplicate(arg);
+      const std::string path = arg.substr(6);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: --log needs a file path\n");
+        std::exit(2);
+      }
+      obs::set_default_log_path(path);
+    } else if (arg.rfind("--status=", 0) == 0) {
+      check_duplicate(arg);
+      const std::string path = arg.substr(9);
+      if (path.empty()) {
+        std::fprintf(stderr, "error: --status needs a file path\n");
+        std::exit(2);
+      }
+      obs::set_default_status_path(path);
+    } else if (arg.rfind("--status-interval=", 0) == 0) {
+      check_duplicate(arg);
+      char* end = nullptr;
+      const double seconds = std::strtod(arg.c_str() + 18, &end);
+      if (end == arg.c_str() + 18 || *end != '\0' || !(seconds > 0.0)) {
+        std::fprintf(stderr,
+                     "error: --status-interval must be a positive number of seconds, got '%s'\n",
+                     arg.c_str() + 18);
+        std::exit(2);
+      }
+      obs::set_default_status_interval(seconds);
     } else if (arg.rfind("--drop=", 0) == 0) {
       check_duplicate(arg);
       char* end = nullptr;

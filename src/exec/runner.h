@@ -189,6 +189,11 @@ struct BatchReport {
   std::size_t completed = 0;     ///< slots that finished (run, or restored on resume)
   bool partial = false;          ///< a graceful stop left pending slots behind
   std::vector<QuarantineRecord> quarantine;  ///< reproducers for failed reps
+  /// Campaign correlation id: the checkpoint identity digest of this batch
+  /// (exec/checkpoint.h), stable across thread counts, interrupt/resume and
+  /// processes.  The same id rides trace spans, log events, status
+  /// heartbeats and record metadata (obs/log.h).
+  std::uint64_t campaign = 0;
 };
 
 struct BatchResult {
@@ -208,7 +213,9 @@ void set_default_threads(std::size_t threads);
 /// Scans argv for the uniform knobs every bench driver and example exposes
 /// — --threads=N, --transport=inproc|socket (installed as the
 /// process-default net transport backend), --json=PATH, --trace=PATH, the
-/// fault knobs --drop=P,
+/// telemetry knobs --log=PATH (structured event log, obs/log.h),
+/// --status=PATH and --status-interval=S (heartbeat stream, obs/status.h),
+/// the fault knobs --drop=P,
 /// --delay=R, --crash=party@round[,party@round...] (combined into one
 /// process-default FaultPlan), and the resilience knobs --checkpoint=PATH,
 /// --resume, --rep-timeout=S, --retries=N, --stop-after=K (installed as the

@@ -16,6 +16,7 @@
 
 #include "base/error.h"
 #include "net/wire.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace simulcast::net {
@@ -132,6 +133,9 @@ void SocketTransport::open(std::size_t n, std::size_t slots) {
     ev.data.u64 = static_cast<std::uint64_t>(i) * 2;  // even = readable
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, ch.recv_fd, &ev) < 0) sys_error("epoll_ctl(ADD)");
   }
+  if (obs::log_enabled())
+    obs::log_event(obs::LogLevel::kDebug, "net-connect",
+                   {{"parties", n_}, {"channels", channels_.size()}, {"slots", slots}});
 }
 
 void SocketTransport::update_write_interest(std::size_t index, bool want) {
@@ -269,6 +273,11 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
       seen = parked_[slot].size();
       last_progress = std::chrono::steady_clock::now();
     } else if (std::chrono::steady_clock::now() - last_progress > kStallTimeout) {
+      if (obs::log_enabled())
+        obs::log_event(obs::LogLevel::kError, "net-stall",
+                       {{"slot", slot},
+                        {"parked", parked_[slot].size()},
+                        {"expected", expected_[slot]}});
       throw ProtocolError("SocketTransport: flush stalled at slot " + std::to_string(slot) +
                           " (" + std::to_string(parked_[slot].size()) + "/" +
                           std::to_string(expected_[slot]) + " frames)");
@@ -295,6 +304,8 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
 }
 
 void SocketTransport::close() {
+  if (!channels_.empty() && obs::log_enabled())
+    obs::log_event(obs::LogLevel::kDebug, "net-abort-close", {{"channels", channels_.size()}});
   for (Channel& ch : channels_) {
     abort_close(ch.send_fd);
     abort_close(ch.recv_fd);

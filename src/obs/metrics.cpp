@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +50,31 @@ std::uint64_t Histogram::bucket(std::size_t i) const {
 
 double HistogramSnapshot::mean() const {
   return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based target rank: the smallest recorded value v such that at least
+  // ceil(q * count) of the recorded values are <= v.
+  std::uint64_t target = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  if (target > count) target = count;
+  std::uint64_t cumulative = underflow;
+  if (target <= cumulative) return static_cast<double>(lo);
+  const double width = (static_cast<double>(hi) - static_cast<double>(lo)) /
+                       static_cast<double>(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket != 0 && target <= cumulative + in_bucket) {
+      const double within = static_cast<double>(target - cumulative);
+      const double bucket_lo = static_cast<double>(lo) + width * static_cast<double>(i);
+      return bucket_lo + width * (within / static_cast<double>(in_bucket));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(hi);
 }
 
 struct Metrics::Impl {

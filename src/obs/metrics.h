@@ -84,6 +84,13 @@ struct HistogramSnapshot {
 
   /// sum/count; 0 for an empty histogram.
   [[nodiscard]] double mean() const;
+
+  /// The q-quantile (q in [0,1]) estimated from the bucket counts with
+  /// linear interpolation inside the target bucket.  Ranks that land in
+  /// the underflow tail clamp to lo, ranks past the last bucket (overflow
+  /// tail) clamp to hi — the tails have no width to interpolate over.
+  /// Returns NaN for an empty histogram (serialized as JSON null).
+  [[nodiscard]] double percentile(double q) const;
 };
 
 /// A point-in-time copy of every registered metric, sorted by name (so the

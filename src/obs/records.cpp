@@ -164,7 +164,10 @@ void append(Json& json, const MetricsSnapshot& m) {
         .member("count", h.count)
         .member("sum", h.sum)
         .member("underflow", h.underflow)
-        .member("overflow", h.overflow);
+        .member("overflow", h.overflow)
+        .member("p50", h.percentile(0.50))
+        .member("p95", h.percentile(0.95))
+        .member("p99", h.percentile(0.99));
     json.key("buckets").array_begin();
     for (const std::uint64_t b : h.buckets) json.value(b);
     json.array_end().object_end();
@@ -188,8 +191,10 @@ void append(Json& json, const ExperimentRecord& r) {
       .member("threads", std::uint64_t{r.perf.report.threads})
       .member("transport", r.transport)
       .member("compiler", kCompiler)
-      .member("build", kBuildMode)
-      .object_end();
+      .member("build", kBuildMode);
+  json.key("campaigns").array_begin();
+  for (const std::string& campaign : r.campaigns) json.value(campaign);
+  json.array_end().object_end();
   json.key("faults")
       .object_begin()
       .member("drop_probability", r.faults.drop_probability)

@@ -42,7 +42,12 @@ namespace simulcast::obs {
 /// the wire-priced bytes (wire_bytes / wire_delivered_bytes).  Consumers
 /// (bench/compare.sh) now reject records whose schema_version they do not
 /// know instead of silently diffing mismatched layouts.
-inline constexpr std::uint64_t kSchemaVersion = 6;
+/// v7: live telemetry — every histogram in "metrics" gained p50/p95/p99
+/// percentile summaries (null for an empty histogram), and metadata gained
+/// "campaigns": the correlation ids (checkpoint identity digests, 16-hex)
+/// of every batch that fed the record, in batch order, joining the record
+/// to its trace spans, log events and status heartbeats.
+inline constexpr std::uint64_t kSchemaVersion = 7;
 
 /// Fixed-precision decimal formatting shared by tables and detail strings
 /// (core::fmt delegates here so text and records agree digit for digit).
@@ -110,6 +115,10 @@ struct ExperimentRecord {
   /// "inproc" | "socket").  Left empty by drivers: core::finish_experiment
   /// fills it from net::default_transport_kind().
   std::string transport;
+  /// Campaign correlation ids (schema v7): the 16-hex identity digest of
+  /// every batch that fed this record, in batch order.  Left empty by
+  /// drivers: core::finish_experiment fills it from obs::campaigns_seen().
+  std::vector<std::string> campaigns;
 };
 
 /// Serializers.  append() writes the record as the next JSON value (the

@@ -5,7 +5,7 @@
 // must therefore cost nothing when tracing is off (one relaxed atomic load
 // per span) and allocate no per-event heap when it is on.  Events are
 // plain-old-data — a static-string name, a lane id, microsecond timestamps
-// and up to three numeric args — appended to a thread-local chain of
+// and up to four numeric args — appended to a thread-local chain of
 // fixed-size blocks, so a push is a bounds check plus a struct copy; a new
 // block is allocated only every kBlockEvents events.  Buffers are
 // registered in a process-wide list and stay alive after their thread
@@ -37,7 +37,7 @@ namespace simulcast::obs {
 /// otherwise outlive the trace): the hot path stores pointers, formatting
 /// happens only at serialization time.
 struct TraceEvent {
-  static constexpr std::size_t kMaxArgs = 3;
+  static constexpr std::size_t kMaxArgs = 4;
 
   const char* name = nullptr;
   char ph = 'X';               ///< 'X' complete span | 'i' instant

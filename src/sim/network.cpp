@@ -5,6 +5,7 @@
 #include "base/error.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/pool.h"
@@ -197,6 +198,8 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       ++result.traffic.crashed;
       if (obs::trace_enabled())
         obs::trace_instant("party-crash", {{"party", id}, {"round", round}});
+      if (obs::log_enabled())
+        obs::log_event(obs::LogLevel::kWarn, "party-crash", {{"party", id}, {"round", round}});
     }
   };
 
@@ -403,13 +406,19 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
                          {{"round", round}, {"messages", round_messages}, {"bytes", round_bytes}});
     if (config.record_trace) result.trace[round] = sent_this_round;
     route(std::move(sent_this_round), round);
-    if (obs::trace_enabled()) {
+    if (obs::trace_enabled() || obs::log_enabled()) {
       const std::size_t round_dropped = result.traffic.dropped - traffic_before.dropped;
       const std::size_t round_blocked = result.traffic.blocked - traffic_before.blocked;
-      if (round_dropped > 0 || round_blocked > 0)
-        obs::trace_instant("round-faults", {{"round", round},
-                                            {"dropped", round_dropped},
-                                            {"blocked", round_blocked}});
+      if (round_dropped > 0 || round_blocked > 0) {
+        if (obs::trace_enabled())
+          obs::trace_instant("round-faults", {{"round", round},
+                                              {"dropped", round_dropped},
+                                              {"blocked", round_blocked}});
+        if (obs::log_enabled())
+          obs::log_event(obs::LogLevel::kDebug, "round-faults", {{"round", round},
+                                                                 {"dropped", round_dropped},
+                                                                 {"blocked", round_blocked}});
+      }
     }
     // This round's deliveries are fully consumed (the inbox views above are
     // dead); recycle their payload buffers for the next round's sends.

@@ -38,5 +38,10 @@ check "malformed thread count" --threads=banana
 check "bad transport"          --transport=carrier-pigeon
 check "bad drop probability"   --drop=1.5
 check "empty json path"        --json=
+check "empty log path"         --log=
+check "empty status path"      --status=
+check "bad status interval"    --status-interval=banana
+check "zero status interval"   --status-interval=0
+check "repeated status path"   --status=a --status=b
 
 exit $fail

@@ -24,6 +24,8 @@
 #include "crypto/commitment.h"
 #include "exec/checkpoint.h"
 #include "exec/runner.h"
+#include "obs/log.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 
 namespace simulcast::exec {
@@ -561,6 +563,57 @@ TEST(Shutdown, SigintDrainsFlushesCheckpointAndResumes) {
   for (std::size_t i = 0; i < 10; ++i)
     EXPECT_TRUE(same_sample(baseline.samples[i], resumed.samples[i])) << i;
   EXPECT_FALSE(std::filesystem::exists(ckpt));
+}
+
+// The bug this pins: the graceful-shutdown drain used to flush only the
+// checkpoint, so an interrupted campaign that never reached
+// finish_experiment lost its entire event log and heartbeat stream.  After
+// a REAL SIGINT lands mid-batch, run_batch's drain path must flush every
+// registered obs sink: the log file exists and narrates the drain, the
+// status stream exists and its last heartbeat is final.
+TEST(Shutdown, SigintDrainFlushesTelemetrySinks) {
+  const ShutdownGuard guard;
+  // The library handler is one-shot per process (it restores SIG_DFL after
+  // the first ^C); the sibling test above may already have consumed it, so
+  // arm a test-local handler to keep this test order-independent.
+  std::signal(SIGINT, [](int) { request_shutdown(); });
+  const auto dir = scratch_dir("sigint_sinks");
+  const std::string log_path = (dir / "campaign.log").string();
+  const std::string status_path = (dir / "status.jsonl").string();
+  obs::clear_log();
+  obs::clear_status();
+  obs::set_default_log_path(log_path);
+  obs::set_default_status_path(status_path);
+  obs::set_default_status_interval(0.002);
+  const auto ens = dist::make_uniform(4);
+
+  const RaisingProtocol raising(2 * 4 + 1);  // SIGINT from rep 2's first party
+  RunSpec spec = spec_for(raising, 4);
+  BatchOptions options;
+  options.checkpoint_path = (dir / "sinks.ckpt").string();
+  const BatchResult interrupted = Runner(1).set_options(options).run_batch(spec, *ens, 10, 3);
+  std::signal(SIGINT, SIG_DFL);
+  obs::set_default_log_path("");
+  obs::set_default_status_path("");
+  obs::set_default_status_interval(1.0);
+  obs::clear_log();
+  obs::clear_status();
+
+  EXPECT_TRUE(interrupted.report.partial);
+  ASSERT_TRUE(std::filesystem::exists(log_path))
+      << "the drain path must flush the log sink, not only the checkpoint";
+  ASSERT_TRUE(std::filesystem::exists(status_path));
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  };
+  const std::string log_text = slurp(log_path);
+  EXPECT_NE(log_text.find("\"event\":\"shutdown-drain\""), std::string::npos) << log_text;
+  EXPECT_NE(log_text.find("\"event\":\"batch-begin\""), std::string::npos);
+  const std::string status_text = slurp(status_path);
+  EXPECT_NE(status_text.find("\"final\":true"), std::string::npos) << status_text;
 }
 
 // apply_resilience_knob installs the process defaults that Runner()

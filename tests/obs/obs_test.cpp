@@ -104,7 +104,7 @@ TEST(Json, BuilderRejectsMalformedDocuments) {
 ExperimentRecord golden_record() {
   ExperimentRecord rec;
   rec.id = "E0/golden";
-  rec.paper_claim = "schema fixture: field layout of record schema v6";
+  rec.paper_claim = "schema fixture: field layout of record schema v7";
   rec.setup = "hand-built record with \"quotes\", back\\slash and tab\there";
   rec.reproduced = true;
   rec.detail = "2 cells, 1 statistic + 1 check";
@@ -174,6 +174,11 @@ ExperimentRecord golden_record() {
 
   // Transport backend (schema v5).
   rec.transport = "inproc";
+
+  // Campaign correlation ids (schema v7): the 16-hex digest of each batch
+  // that fed the record, exactly as correlation_hex renders it.
+  rec.campaigns.push_back("00000000000000e0");
+  rec.campaigns.push_back("deadbeefcafef00d");
   return rec;
 }
 
