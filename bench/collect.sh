@@ -37,6 +37,16 @@
 # execution computes — and (c) the socket record's metrics block shows real
 # kernel traffic (a nonzero net.bytes_on_wire counter).
 #
+# With --process, the remaining arguments are ONE driver command line
+# (binary plus its own arguments, e.g. ".../explore gennaro none uniform
+# --samples=40").  The command runs three times -- default in-process
+# backend, --transport=socket, --transport=process -- and the three records
+# must be identical after canonicalization (the process-isolation
+# equivalence contract: per-party worker processes change how bytes move,
+# never what an execution computes).  The process record must additionally
+# prove that workers really ran: metadata.transport == "process" and a
+# nonzero proc.spawned counter in its metrics block.
+#
 # With --status, each driver instead exercises the live-telemetry stream
 # (DESIGN.md section 13): run with --json plus a fast heartbeat
 # (--status=FILE --status-interval=$STATUS_INTERVAL, default 0.05s) and then
@@ -52,14 +62,16 @@ want_faults=0
 want_resume=0
 want_socket=0
 want_status=0
+want_process=0
 while [ "${1:-}" = "--trace" ] || [ "${1:-}" = "--faults" ] || [ "${1:-}" = "--resume" ] ||
-      [ "${1:-}" = "--socket" ] || [ "${1:-}" = "--status" ]; do
+      [ "${1:-}" = "--socket" ] || [ "${1:-}" = "--status" ] || [ "${1:-}" = "--process" ]; do
   case $1 in
     --trace) want_trace=1 ;;
     --faults) want_faults=1 ;;
     --resume) want_resume=1 ;;
     --socket) want_socket=1 ;;
     --status) want_status=1 ;;
+    --process) want_process=1 ;;
   esac
   shift
 done
@@ -69,6 +81,7 @@ status_interval=${STATUS_INTERVAL:-0.05}
 
 if [ "$#" -lt 1 ]; then
   echo "usage: $0 [--trace] [--faults] [--resume] [--socket] [--status] OUT_DIR [DRIVER...]" >&2
+  echo "       $0 --process OUT_DIR DRIVER [DRIVER_ARGS...]" >&2
   exit 2
 fi
 
@@ -184,6 +197,19 @@ assert bytes_on_wire > 0, "net.bytes_on_wire is zero: no frame crossed the kerne
 EOF
 }
 
+# The process record must prove worker processes really ran: the metadata
+# block names the process backend and the proc.spawned counter is nonzero.
+check_process_metrics() {
+  python3 - "$1" 2>&1 <<'PYEOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+assert rec["metadata"]["transport"] == "process", \
+    f'metadata.transport is {rec["metadata"]["transport"]!r}, not "process"'
+spawned = rec["metrics"]["counters"].get("proc.spawned", 0)
+assert spawned > 0, "proc.spawned is zero: no worker process was ever spawned"
+PYEOF
+}
+
 # Heartbeat-stream honesty: every line parses, completed never decreases,
 # campaign ids are 16-hex correlation ids, the stream ends on a "final"
 # beat, and that beat's completed matches the records' completed total.
@@ -255,6 +281,60 @@ if [ "$want_status" -eq 1 ]; then
   done
   count=${#drivers[@]}
   echo "collect.sh: $((count - failures))/$count drivers streamed honest heartbeats, records in $out_dir"
+  [ "$failures" -eq 0 ]
+  exit
+fi
+
+if [ "$want_process" -eq 1 ]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "collect.sh: --process needs python3 for record comparison" >&2
+    exit 2
+  fi
+  if [ "${#drivers[@]}" -lt 1 ] || [ ! -x "${drivers[0]}" ]; then
+    echo "collect.sh: --process needs one driver command line after OUT_DIR" >&2
+    exit 2
+  fi
+  name=$(basename "${drivers[0]}")
+  failures=0
+  inproc_dir=$out_dir/inproc_$name
+  socket_dir=$out_dir/socket_$name
+  process_dir=$out_dir/process_$name
+  rm -rf "$inproc_dir" "$socket_dir" "$process_dir"
+  mkdir -p "$inproc_dir" "$socket_dir" "$process_dir"
+
+  if ! "${drivers[@]}" --json="$inproc_dir"; then
+    echo "collect.sh: FAIL $name (in-process run exited nonzero)" >&2
+    exit 1
+  fi
+  if ! "${drivers[@]}" --json="$socket_dir" --transport=socket; then
+    echo "collect.sh: FAIL $name (--transport=socket run exited nonzero)" >&2
+    exit 1
+  fi
+  if ! "${drivers[@]}" --json="$process_dir" --transport=process; then
+    echo "collect.sh: FAIL $name (--transport=process run exited nonzero)" >&2
+    exit 1
+  fi
+  for inproc in "$inproc_dir"/BENCH_*.json; do
+    base=$(basename "$inproc")
+    for other in "$socket_dir/$base" "$process_dir/$base"; do
+      if [ ! -f "$other" ]; then
+        echo "collect.sh: FAIL $name (run wrote no $other)" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      if ! check_socket_pair "$inproc" "$other"; then
+        echo "collect.sh: FAIL $name ($other differs from in-process record)" >&2
+        failures=$((failures + 1))
+      fi
+    done
+    if [ -f "$process_dir/$base" ] && ! check_process_metrics "$process_dir/$base"; then
+      echo "collect.sh: FAIL $name (process record shows no spawned workers)" >&2
+      failures=$((failures + 1))
+    fi
+  done
+  if [ "$failures" -eq 0 ]; then
+    echo "collect.sh: $name record-identical across inproc/socket/process, records in $out_dir"
+  fi
   [ "$failures" -eq 0 ]
   exit
 fi

@@ -36,6 +36,7 @@
 #include "core/report.h"
 #include "exec/runner.h"
 #include "net/transport.h"
+#include "net/worker.h"
 #include "obs/trace.h"
 #include "testers/cr_tester.h"
 #include "testers/g_tester.h"
@@ -49,7 +50,8 @@ using namespace simulcast;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage: explore <protocol> <adversary> <distribution> "
                "[--n=5] [--corrupt=i,j] [--samples=2000] [--seed=1] [--threads=1] "
-               "[--transport=inproc|socket] [--json=PATH] [--trace=PATH] "
+               "[--transport=inproc|socket|process] [--net-timeout=S] "
+               "[--json=PATH] [--trace=PATH] "
                "[--drop=P] [--delay=R] [--crash=party@round,...] "
                "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
                "[--stop-after=K]\n"
@@ -87,6 +89,12 @@ std::shared_ptr<dist::InputEnsemble> make_ensemble(const std::string& spec, std:
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker dispatch must run before the positional-argument checks: a
+  // re-exec'd process-transport worker carries no positionals, only the
+  // --simulcast-worker-* flags (configure_threads below never sees them —
+  // it is handed argv offset past the positionals).
+  if (const int worker_rc = simulcast::net::maybe_worker_main(argc, argv); worker_rc >= 0)
+    return worker_rc;
   if (argc >= 2 && std::string(argv[1]) == "list") {
     for (const std::string& name : core::protocol_names()) std::cout << name << "\n";
     return 0;

@@ -1,6 +1,7 @@
 #include "core/registry.h"
 
 #include "base/error.h"
+#include "sim/network.h"
 #include "protocols/cgma.h"
 #include "protocols/chor_rabin.h"
 #include "protocols/gennaro.h"
@@ -11,6 +12,18 @@
 #include "protocols/theta_mpc.h"
 
 namespace simulcast::core {
+
+namespace {
+
+/// Worker processes of the process transport resolve their protocol by
+/// registry name (sim/network.h); installing make_protocol at static-init
+/// time means every binary that links the registry can host workers.
+/// Test binaries with local protocols override this in main().
+const struct RegistryResolverInstaller {
+  RegistryResolverInstaller() noexcept { sim::set_worker_protocol_resolver(&make_protocol); }
+} g_registry_resolver_installer;
+
+}  // namespace
 
 std::unique_ptr<sim::ParallelBroadcastProtocol> make_protocol(std::string_view name) {
   if (name == "seq-broadcast") return std::make_unique<protocols::SeqBroadcastProtocol>();

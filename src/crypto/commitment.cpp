@@ -110,7 +110,10 @@ bool PedersenCommitmentScheme::verify(std::string_view label, const Commitment& 
 }
 
 std::unique_ptr<CommitmentScheme> make_commitment_scheme(std::string_view name) {
-  if (name == "hash") return std::make_unique<HashCommitmentScheme>();
+  // "hash-sha256" is HashCommitmentScheme::name(); accepting it makes the
+  // factory a left inverse of name(), which the process-worker handshake
+  // relies on to reconstruct the coordinator's scheme.
+  if (name == "hash" || name == "hash-sha256") return std::make_unique<HashCommitmentScheme>();
   if (name == "pedersen") return std::make_unique<PedersenCommitmentScheme>();
   throw UsageError("make_commitment_scheme: unknown scheme '" + std::string(name) + "'");
 }

@@ -95,7 +95,10 @@ class PedersenCommitmentScheme final : public CommitmentScheme {
   const SchnorrGroup* group_;
 };
 
-/// Factory by name ("hash" or "pedersen"); throws UsageError on unknown name.
+/// Factory by name ("hash"/"hash-sha256" or "pedersen"); throws UsageError on
+/// unknown name.  Accepts every CommitmentScheme::name() spelling, so the
+/// factory round-trips a scheme through its name (the process-worker
+/// handshake relies on this).
 [[nodiscard]] std::unique_ptr<CommitmentScheme> make_commitment_scheme(std::string_view name);
 
 }  // namespace simulcast::crypto

@@ -16,6 +16,7 @@
 #include "broadcast/parallel_broadcast.h"
 #include "exec/checkpoint.h"
 #include "net/transport.h"
+#include "net/worker.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/status.h"
@@ -624,6 +625,12 @@ bool apply_resilience_knob(const std::string& arg) {
 
 std::size_t configure_threads(int argc, char** argv,
                               std::initializer_list<std::string_view> pass_through) {
+  // Process-transport worker dispatch: a driver re-exec'd as a per-party
+  // worker (net/worker.h) must never fall through into its own campaign.
+  // Every driver calls configure_threads first thing in main, so this is
+  // the one chokepoint covering all of them.
+  if (const int worker_rc = net::maybe_worker_main(argc, argv); worker_rc >= 0)
+    std::exit(worker_rc);
   sim::FaultPlan plan = default_fault_plan();
   bool plan_changed = false;
   std::set<std::string> seen_knobs;
@@ -631,7 +638,8 @@ std::size_t configure_threads(int argc, char** argv,
   const auto usage_exit = [program](const std::string& detail) {
     std::fprintf(stderr,
                  "error: %s\n"
-                 "usage: %s [--threads=N] [--transport=inproc|socket] [--json=PATH] "
+                 "usage: %s [--threads=N] [--transport=inproc|socket|process] "
+                 "[--net-timeout=S] [--json=PATH] "
                  "[--trace=PATH] [--log=PATH] [--status=PATH] [--status-interval=S] "
                  "[--drop=P] [--delay=R] [--crash=party@round,...] "
                  "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
@@ -669,6 +677,16 @@ std::size_t configure_threads(int argc, char** argv,
         std::fprintf(stderr, "error: %s\n", e.what());
         std::exit(2);
       }
+    } else if (arg.rfind("--net-timeout=", 0) == 0) {
+      check_duplicate(arg);
+      char* end = nullptr;
+      const long seconds = std::strtol(arg.c_str() + 14, &end, 10);
+      if (end == arg.c_str() + 14 || *end != '\0' || seconds <= 0) {
+        std::fprintf(stderr, "error: --net-timeout must be a positive number of seconds, got '%s'\n",
+                     arg.c_str() + 14);
+        std::exit(2);
+      }
+      net::set_default_net_timeout(std::chrono::seconds(seconds));
     } else if (arg.rfind("--json=", 0) == 0) {
       check_duplicate(arg);
       const std::string path = arg.substr(7);

@@ -1,0 +1,380 @@
+#include "net/procs.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "net/transport.h"
+#include "net/wire.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+extern char** environ;
+
+namespace simulcast::net {
+
+namespace {
+
+struct ProcCounters {
+  obs::Counter& spawned;
+  obs::Counter& reaped;
+  obs::Counter& killed;
+  obs::Counter& respawned;
+};
+
+ProcCounters& proc_counters() {
+  static ProcCounters counters{
+      obs::Metrics::global().counter("proc.spawned"),
+      obs::Metrics::global().counter("proc.reaped"),
+      obs::Metrics::global().counter("proc.killed"),
+      obs::Metrics::global().counter("proc.respawned"),
+  };
+  return counters;
+}
+
+/// Blocking waitpid for a child known to be exiting (post-SIGKILL or
+/// post-EOF); EINTR-proof, never throws.
+void reap_pid(pid_t pid) noexcept {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+/// Writes exactly `size` bytes; used only by the deliberately-truncated
+/// handshake tweak, where a lost peer is the expected outcome.
+void send_best_effort(int fd, const std::uint8_t* data, std::size_t size) noexcept {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t rc = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fault_plan_digest(std::string_view summary) noexcept {
+  // FNV-1a; the digest is an equality check inside one handshake, not a
+  // cryptographic commitment.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : summary) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ProcSupervisor::ProcSupervisor(Spec spec) : spec_(std::move(spec)) {
+  workers_.resize(spec_.n);
+}
+
+ProcSupervisor::~ProcSupervisor() { shutdown(); }
+
+void ProcSupervisor::spawn(std::size_t id, bool input) { spawn_into(id, input, /*spectator=*/false); }
+
+void ProcSupervisor::spawn_into(std::size_t id, bool input, bool spectator) {
+  using Tweak = ProcessOptions::HandshakeTweak;
+  const Tweak tweak = spec_.options.tweak;
+
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) < 0)
+    throw std::system_error(errno, std::generic_category(), "ProcSupervisor: socketpair");
+  // The child end must land on fd 3 via adddup2, which only clears
+  // FD_CLOEXEC when source != target — move it out of the way first.
+  if (sv[1] < 4) {
+    const int moved = ::fcntl(sv[1], F_DUPFD_CLOEXEC, 4);
+    if (moved < 0) {
+      const int err = errno;
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw std::system_error(err, std::generic_category(), "ProcSupervisor: fcntl");
+    }
+    ::close(sv[1]);
+    sv[1] = moved;
+  }
+
+  const std::string timeout_arg =
+      std::string(kWorkerTimeoutFlag) + std::to_string(default_net_timeout().count());
+  const std::string fd_arg = std::string(kWorkerFdFlag) + "3";
+  std::vector<char*> argv;
+  char exe[] = "/proc/self/exe";
+  argv.push_back(exe);
+  argv.push_back(const_cast<char*>(fd_arg.c_str()));
+  argv.push_back(const_cast<char*>(timeout_arg.c_str()));
+  if (tweak == Tweak::kMute) argv.push_back(const_cast<char*>(kWorkerMuteFlag));
+  argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, sv[1], 3);
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, exe, &actions, nullptr, argv.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(sv[1]);
+  if (rc != 0) {
+    ::close(sv[0]);
+    // A transient condition (EAGAIN/ENOMEM under load), so system_error:
+    // exec::Runner's retry policy gets to take another swing.
+    throw std::system_error(rc, std::generic_category(), "ProcSupervisor: posix_spawn");
+  }
+
+  Worker& w = workers_[id];
+  w.pid = pid;
+  w.fd = sv[0];
+  w.channel = std::make_unique<WorkerChannel>(sv[0]);
+  w.spectator = spectator;
+  proc_counters().spawned.add(1);
+  if (obs::log_enabled())
+    obs::log_event(obs::LogLevel::kInfo, "worker-spawn",
+                   {{"party", id}, {"pid", static_cast<std::uint64_t>(pid)}});
+
+  // Handshake.  Any failure below kills and reaps the child before the
+  // throw — a failed handshake must leave no process behind.
+  const auto fail = [&](const std::string& what) -> ProtocolError {
+    reap(id, /*force_kill=*/true);
+    return ProtocolError("ProcSupervisor: P" + std::to_string(id) + " handshake: " + what);
+  };
+
+  WorkerHello hello;
+  hello.n = spec_.n;
+  hello.slot = tweak == Tweak::kBadSlot ? spec_.n + 17 : id;
+  hello.k = spec_.k;
+  hello.seed = spec_.seed;
+  hello.rounds = spec_.rounds;
+  hello.input = input;
+  hello.spectator = spectator;
+  hello.kill_enabled = !spectator && spec_.options.kill_party == id;
+  hello.kill_round = spec_.options.kill_round;
+  hello.fault_digest = spec_.fault_digest;
+  hello.protocol = spec_.protocol;
+  hello.commitments = spec_.commitments;
+
+  Bytes body;
+  encode_worker_hello(hello, body);
+  if (tweak == Tweak::kBumpVersion) body[4] += 1;  // version byte follows the u32 magic
+  if (tweak == Tweak::kGarbageHello) body.assign(body.size(), 0xEE);
+
+  if (tweak == Tweak::kTruncatedHello) {
+    // Full length prefix, half the body, then EOF: the worker sees the
+    // stream end mid-frame and exits without acking.
+    Bytes header(5);
+    header[0] = static_cast<std::uint8_t>(body.size() + 1);
+    header[1] = static_cast<std::uint8_t>((body.size() + 1) >> 8);
+    header[2] = static_cast<std::uint8_t>((body.size() + 1) >> 16);
+    header[3] = static_cast<std::uint8_t>((body.size() + 1) >> 24);
+    header[4] = static_cast<std::uint8_t>(ProcFrame::kHello);
+    send_best_effort(w.fd, header.data(), header.size());
+    send_best_effort(w.fd, body.data(), body.size() / 2);
+    ::shutdown(w.fd, SHUT_WR);
+  } else if (tweak != Tweak::kMute) {
+    try {
+      if (!w.channel->write_frame(ProcFrame::kHello, body)) throw fail("worker gone before hello");
+    } catch (const std::system_error& e) {
+      throw fail(e.what());
+    }
+  }
+
+  ProcFrame type{};
+  Bytes reply;
+  WorkerChannel::Status status;
+  try {
+    status = w.channel->read_frame(type, reply, default_net_timeout());
+  } catch (const Error& e) {
+    throw fail(e.what());
+  } catch (const std::system_error& e) {
+    throw fail(e.what());
+  }
+  if (status == WorkerChannel::Status::kTimeout)
+    throw fail("no ack within the stall deadline (--net-timeout)");
+  if (status == WorkerChannel::Status::kEof) throw fail("worker rejected the hello");
+  if (type != ProcFrame::kAck) throw fail("expected kAck");
+  WorkerAck ack;
+  try {
+    ack = decode_worker_ack(reply);
+  } catch (const Error& e) {
+    throw fail(e.what());
+  }
+  if (ack.slot != id) throw fail("ack echoed slot " + std::to_string(ack.slot));
+  if (ack.fault_digest != spec_.fault_digest) throw fail("ack echoed a different fault digest");
+}
+
+WorkerChannel& ProcSupervisor::live_channel(std::size_t id) {
+  Worker& w = workers_[id];
+  if (w.pid < 0 || w.channel == nullptr || w.spectator)
+    throw UsageError("ProcSupervisor: no live worker for P" + std::to_string(id));
+  return *w.channel;
+}
+
+void ProcSupervisor::observe_death(std::size_t id, const char* how) {
+  Worker& w = workers_[id];
+  const pid_t pid = w.pid;
+  const bool stalled = std::strcmp(how, "stall") == 0;
+  // A stalled worker is still alive; put it down before reaping.
+  reap(id, /*force_kill=*/stalled);
+  if (obs::log_enabled())
+    obs::log_event(obs::LogLevel::kWarn, "worker-death",
+                   {{"party", id}, {"pid", static_cast<std::uint64_t>(pid)}}, how);
+  if (spec_.options.respawn_crashed && !shutting_down_) {
+    try {
+      spawn_into(id, /*input=*/false, /*spectator=*/true);
+      proc_counters().respawned.add(1);
+      if (obs::log_enabled()) obs::log_event(obs::LogLevel::kInfo, "worker-respawn", {{"party", id}});
+    } catch (...) {
+      // A failed respawn only loses the standby, never the execution.
+    }
+  }
+  throw WorkerLost("ProcSupervisor: worker for P" + std::to_string(id) + " died (" + how + ")", id);
+}
+
+std::vector<sim::Message> ProcSupervisor::expect_outbox(std::size_t id, ProcFrame type,
+                                                        const Bytes& body) {
+  if (type == ProcFrame::kFailed)
+    throw ProtocolError("ProcSupervisor: P" + std::to_string(id) + " failed in place");
+  if (type != ProcFrame::kOut)
+    throw ProtocolError("ProcSupervisor: P" + std::to_string(id) + " sent an unexpected frame");
+  ByteReader r(body);
+  const std::uint32_t count = r.u32();
+  const Bytes blob = r.bytes();
+  if (!r.done()) throw ProtocolError("ProcSupervisor: outbox frame has trailing bytes");
+  std::vector<sim::Message> out;
+  out.reserve(count);
+  WireReader frames(blob);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(frames.message());
+  if (!frames.done()) throw ProtocolError("ProcSupervisor: outbox blob has trailing bytes");
+  return out;
+}
+
+std::vector<sim::Message> ProcSupervisor::begin(std::size_t id) {
+  WorkerChannel& channel = live_channel(id);
+  if (!channel.write_frame(ProcFrame::kBegin, {})) observe_death(id, "eof");
+  ProcFrame type{};
+  Bytes reply;
+  const auto status = channel.read_frame(type, reply, default_net_timeout());
+  if (status == WorkerChannel::Status::kEof) observe_death(id, "eof");
+  if (status == WorkerChannel::Status::kTimeout) observe_death(id, "stall");
+  return expect_outbox(id, type, reply);
+}
+
+std::vector<sim::Message> ProcSupervisor::round(std::size_t id, std::size_t round,
+                                                const sim::Inbox& inbox) {
+  WorkerChannel& channel = live_channel(id);
+  Bytes blob;
+  WireWriter frames(blob);
+  for (const sim::Message& m : inbox) frames.message(m);
+  ByteWriter w;
+  w.u64(round);
+  w.u32(static_cast<std::uint32_t>(inbox.size()));
+  w.bytes(blob);
+  if (!channel.write_frame(ProcFrame::kRound, w.take())) observe_death(id, "eof");
+  ProcFrame type{};
+  Bytes reply;
+  const auto status = channel.read_frame(type, reply, default_net_timeout());
+  if (status == WorkerChannel::Status::kEof) observe_death(id, "eof");
+  if (status == WorkerChannel::Status::kTimeout) observe_death(id, "stall");
+  return expect_outbox(id, type, reply);
+}
+
+std::optional<BitVec> ProcSupervisor::finish(std::size_t id, const sim::Inbox& inbox) {
+  WorkerChannel& channel = live_channel(id);
+  Bytes blob;
+  WireWriter frames(blob);
+  for (const sim::Message& m : inbox) frames.message(m);
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(inbox.size()));
+  w.bytes(blob);
+  if (!channel.write_frame(ProcFrame::kFinish, w.take())) observe_death(id, "eof");
+  ProcFrame type{};
+  Bytes reply;
+  const auto status = channel.read_frame(type, reply, default_net_timeout());
+  if (status == WorkerChannel::Status::kEof) observe_death(id, "eof");
+  if (status == WorkerChannel::Status::kTimeout) observe_death(id, "stall");
+  if (type == ProcFrame::kFailed)
+    throw ProtocolError("ProcSupervisor: P" + std::to_string(id) + " failed in place");
+  if (type != ProcFrame::kOutput)
+    throw ProtocolError("ProcSupervisor: P" + std::to_string(id) + " sent an unexpected frame");
+  ByteReader r(reply);
+  const bool has = r.u8() != 0;
+  const std::uint32_t size = r.u32();
+  const std::uint64_t packed = r.u64();
+  if (!r.done()) throw ProtocolError("ProcSupervisor: output frame has trailing bytes");
+  if (!has) return std::nullopt;
+  return BitVec(size, packed);
+}
+
+void ProcSupervisor::reap(std::size_t id, bool force_kill) noexcept {
+  Worker& w = workers_[id];
+  if (w.pid < 0) return;
+  if (force_kill) {
+    if (::kill(w.pid, SIGKILL) == 0) proc_counters().killed.add(1);
+  }
+  reap_pid(w.pid);
+  proc_counters().reaped.add(1);
+  if (obs::log_enabled())
+    obs::log_event(obs::LogLevel::kDebug, "worker-exit",
+                   {{"party", id}, {"pid", static_cast<std::uint64_t>(w.pid)}});
+  if (w.fd >= 0) ::close(w.fd);
+  w.pid = -1;
+  w.fd = -1;
+  w.channel.reset();
+}
+
+void ProcSupervisor::retire(std::size_t id) noexcept {
+  Worker& w = workers_[id];
+  if (w.pid < 0 || w.spectator) return;  // already reaped, or a respawned standby
+  reap(id, /*force_kill=*/true);
+  if (spec_.options.respawn_crashed && !shutting_down_) {
+    try {
+      spawn_into(id, /*input=*/false, /*spectator=*/true);
+      proc_counters().respawned.add(1);
+      if (obs::log_enabled()) obs::log_event(obs::LogLevel::kInfo, "worker-respawn", {{"party", id}});
+    } catch (...) {
+      // Losing the standby is acceptable; losing the execution is not.
+    }
+  }
+}
+
+void ProcSupervisor::shutdown() noexcept {
+  shutting_down_ = true;
+  // Closing the channel is the shutdown signal: live workers read EOF and
+  // exit, finished workers have exited already.
+  for (Worker& w : workers_) {
+    if (w.fd >= 0) ::close(w.fd);
+    w.fd = -1;
+    w.channel.reset();
+  }
+  const auto give_up = std::chrono::steady_clock::now() + default_net_timeout();
+  for (std::size_t id = 0; id < workers_.size(); ++id) {
+    Worker& w = workers_[id];
+    if (w.pid < 0) continue;
+    for (;;) {
+      int status = 0;
+      const pid_t rc = ::waitpid(w.pid, &status, WNOHANG);
+      if (rc == w.pid || (rc < 0 && errno != EINTR)) break;
+      if (std::chrono::steady_clock::now() >= give_up) {
+        // Past the stall deadline the worker forfeits its graceful exit.
+        if (::kill(w.pid, SIGKILL) == 0) proc_counters().killed.add(1);
+        reap_pid(w.pid);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    proc_counters().reaped.add(1);
+    if (obs::log_enabled())
+      obs::log_event(obs::LogLevel::kDebug, "worker-exit",
+                     {{"party", id}, {"pid", static_cast<std::uint64_t>(w.pid)}});
+    w.pid = -1;
+  }
+}
+
+}  // namespace simulcast::net

@@ -1,0 +1,169 @@
+// Coordinator side of the process transport: the per-execution supervisor
+// that spawns one worker process per honest party, handshakes each one
+// (net/worker.h), drives the begin / round / finish RPCs on behalf of the
+// scheduler, and maps every way a worker can die onto the scheduler's
+// crash accounting.
+//
+// Lifecycle of one worker slot:
+//
+//   spawn ──handshake──▶ live ──kFinish reply──▶ exited ──shutdown──▶ reaped
+//                          │
+//                          ├─ observed death (EOF / stall) ─▶ reaped,
+//                          │      WorkerLost thrown; the scheduler books
+//                          │      the same crash a sim::FaultPlan entry
+//                          │      would have produced
+//                          └─ retire() (scheduled crash, fail-in-place)
+//                                 ─▶ SIGKILL + reaped
+//
+// with an optional respawn step: when ProcessOptions::respawn_crashed is
+// set, a reaped slot is refilled with a *spectator* worker (same
+// handshake, spectator flag set) so the lifecycle machinery keeps running
+// without perturbing the surviving parties — the dead party stays dead,
+// exactly as the fault model demands.
+//
+// Every transition feeds proc.* registry metrics and worker-* log events
+// carrying the PR 8 correlation ids.  Handshake failures are
+// ProtocolError (the worker is killed and reaped first — no zombies);
+// spawn syscall failures are std::system_error, which exec::Runner's
+// retry policy treats as transient.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/bitvec.h"
+#include "base/error.h"
+#include "net/worker.h"
+#include "sim/message.h"
+
+namespace simulcast::net {
+
+/// Process-mode knobs carried by sim::ExecutionConfig.  The kill knob and
+/// handshake tweaks exist for the equivalence and negative test suites;
+/// production runs leave everything defaulted.
+struct ProcessOptions {
+  static constexpr std::size_t kNoKill = std::numeric_limits<std::size_t>::max();
+
+  /// SIGKILL this party's worker the moment it receives the round-start
+  /// for kill_round — the deterministic stand-in for `kill -9` mid-round,
+  /// which the contract says must be indistinguishable from a FaultPlan
+  /// crash scheduled at the same round.
+  std::size_t kill_party = kNoKill;
+  std::uint64_t kill_round = 0;
+
+  /// Refill reaped slots with spectator workers (see lifecycle above).
+  bool respawn_crashed = false;
+
+  /// Deliberate handshake corruption, applied to every spawn (negative
+  /// tests): bump the version byte, claim an out-of-range slot, truncate
+  /// the hello mid-frame, replace it with garbage, or spawn a worker that
+  /// never speaks at all.
+  enum class HandshakeTweak : std::uint8_t {
+    kNone,
+    kBumpVersion,
+    kBadSlot,
+    kTruncatedHello,
+    kGarbageHello,
+    kMute,
+  };
+  HandshakeTweak tweak = HandshakeTweak::kNone;
+};
+
+/// A worker died (EOF on its channel, or no reply within the stall
+/// deadline).  The scheduler catches this and books the party as crashed
+/// — it is the process-mode spelling of a CrashFault, not a failure of
+/// the execution.
+class WorkerLost : public Error {
+ public:
+  WorkerLost(const std::string& what, std::size_t party) : Error(what), party_(party) {}
+  [[nodiscard]] std::size_t party() const noexcept { return party_; }
+
+ private:
+  std::size_t party_;
+};
+
+/// FNV-1a digest of FaultPlan::summary(), bound into the handshake so a
+/// coordinator/worker pairing that disagrees about the fault schedule is
+/// caught before the first round.
+[[nodiscard]] std::uint64_t fault_plan_digest(std::string_view summary) noexcept;
+
+/// One execution's crew of worker processes.  Single-threaded, owned by
+/// one run_execution call (concurrent Runner workers each own their own
+/// supervisor, like every per-execution object).
+class ProcSupervisor {
+ public:
+  /// The execution identity every worker must agree on; the scalar fields
+  /// travel in the handshake verbatim.
+  struct Spec {
+    std::string protocol;     ///< protocol registry name
+    std::string commitments;  ///< commitment scheme name; "" = none
+    std::size_t n = 0;
+    std::uint32_t k = 0;
+    std::uint64_t seed = 0;
+    std::size_t rounds = 0;
+    std::uint64_t fault_digest = 0;
+    ProcessOptions options;
+  };
+
+  explicit ProcSupervisor(Spec spec);
+  ~ProcSupervisor();
+
+  ProcSupervisor(const ProcSupervisor&) = delete;
+  ProcSupervisor& operator=(const ProcSupervisor&) = delete;
+
+  /// Spawns and handshakes the worker for party `id` (posix_spawn of
+  /// /proc/self/exe).  Throws std::system_error when the spawn itself
+  /// fails, ProtocolError when the handshake does (the child is killed
+  /// and reaped first).
+  void spawn(std::size_t id, bool input);
+
+  /// The three scheduler RPCs.  Outbox messages come back in queue order;
+  /// finish() returns the party's output (nullopt when the machine could
+  /// not produce one).  A worker that failed in place (ProtocolError in
+  /// its machine) surfaces as ProtocolError; a dead worker as WorkerLost
+  /// (reaped before the throw).
+  [[nodiscard]] std::vector<sim::Message> begin(std::size_t id);
+  [[nodiscard]] std::vector<sim::Message> round(std::size_t id, std::size_t round,
+                                                const sim::Inbox& inbox);
+  [[nodiscard]] std::optional<BitVec> finish(std::size_t id, const sim::Inbox& inbox);
+
+  /// Kills and reaps party `id`'s worker (scheduled crash / fail-in-place
+  /// path; no-op on already-reaped slots and on spectators).  Respawns a
+  /// spectator when the options ask for it.  noexcept: called from
+  /// destructors.
+  void retire(std::size_t id) noexcept;
+
+  /// Graceful end of execution: closes every channel (EOF is the
+  /// shutdown signal) and reaps every remaining worker, escalating to
+  /// SIGKILL only past the stall deadline.  Idempotent; the destructor
+  /// runs it as a safety net.
+  void shutdown() noexcept;
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    std::unique_ptr<WorkerChannel> channel;
+    bool spectator = false;
+  };
+
+  void spawn_into(std::size_t id, bool input, bool spectator);
+  void reap(std::size_t id, bool force_kill) noexcept;
+  void observe_death(std::size_t id, const char* how);
+  [[nodiscard]] WorkerChannel& live_channel(std::size_t id);
+  [[nodiscard]] std::vector<sim::Message> expect_outbox(std::size_t id, ProcFrame type,
+                                                        const Bytes& body);
+
+  Spec spec_;
+  std::vector<Worker> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace simulcast::net

@@ -252,6 +252,7 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
   const auto start = std::chrono::steady_clock::now();
 
   pump_writes();
+  const std::chrono::seconds stall_timeout = default_net_timeout();
   auto last_progress = std::chrono::steady_clock::now();
   std::size_t seen = parked_[slot].size();
   while (parked_[slot].size() < expected_[slot]) {
@@ -272,7 +273,7 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
     if (parked_[slot].size() != seen) {
       seen = parked_[slot].size();
       last_progress = std::chrono::steady_clock::now();
-    } else if (std::chrono::steady_clock::now() - last_progress > kStallTimeout) {
+    } else if (std::chrono::steady_clock::now() - last_progress > stall_timeout) {
       if (obs::log_enabled())
         obs::log_event(obs::LogLevel::kError, "net-stall",
                        {{"slot", slot},

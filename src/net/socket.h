@@ -57,9 +57,9 @@ class SocketTransport final : public Transport {
   void close() override;
 
  private:
-  /// An event loop making no progress for this long is a wedged execution;
-  /// collect() throws instead of hanging the campaign.
-  static constexpr std::chrono::seconds kStallTimeout{30};
+  // An event loop making no progress for net::default_net_timeout() (the
+  // --net-timeout=S knob; 30s unless overridden) is a wedged execution;
+  // collect() throws instead of hanging the campaign.
 
   /// One loopback TCP channel: the scheduler writes to `send_fd`, the
   /// event loop reads completed records back from `recv_fd`.

@@ -17,6 +17,10 @@ namespace {
 // before batches start (same contract as every exec:: process default).
 std::atomic<TransportKind> g_default_kind{TransportKind::kInProcess};
 
+// Seconds, not a duration: std::atomic<std::chrono::seconds> is not
+// guaranteed lock-free and the knob is read on every blocking wait.
+std::atomic<long> g_net_timeout_s{30};
+
 /// The extracted pending-delivery vectors of the pre-transport scheduler:
 /// submit is a vector push, collect is a vector move, ordering is
 /// submission order.  Bit-identical to the old in_flight hand-off by
@@ -49,13 +53,20 @@ class InProcessTransport final : public Transport {
 }  // namespace
 
 std::string_view transport_kind_name(TransportKind kind) noexcept {
-  return kind == TransportKind::kSocket ? "socket" : "inproc";
+  switch (kind) {
+    case TransportKind::kSocket: return "socket";
+    case TransportKind::kProcess: return "process";
+    case TransportKind::kInProcess: break;
+  }
+  return "inproc";
 }
 
 TransportKind parse_transport_kind(std::string_view text) {
   if (text == "inproc") return TransportKind::kInProcess;
   if (text == "socket") return TransportKind::kSocket;
-  throw UsageError("unknown transport '" + std::string(text) + "' (expected inproc|socket)");
+  if (text == "process") return TransportKind::kProcess;
+  throw UsageError("unknown transport '" + std::string(text) +
+                   "' (expected inproc|socket|process)");
 }
 
 TransportKind default_transport_kind() noexcept {
@@ -66,8 +77,21 @@ void set_default_transport_kind(TransportKind kind) noexcept {
   g_default_kind.store(kind, std::memory_order_relaxed);
 }
 
+std::chrono::seconds default_net_timeout() noexcept {
+  return std::chrono::seconds(g_net_timeout_s.load(std::memory_order_relaxed));
+}
+
+void set_default_net_timeout(std::chrono::seconds timeout) noexcept {
+  g_net_timeout_s.store(timeout.count(), std::memory_order_relaxed);
+}
+
 std::unique_ptr<Transport> make_transport(TransportKind kind) {
   if (kind == TransportKind::kSocket) return std::make_unique<SocketTransport>();
+  // Process mode moves *party machines* out of process, not the scheduler's
+  // slot mailboxes: inter-round traffic still lives with the coordinator,
+  // so the mailbox backend is the bit-identical in-process one and the real
+  // kernel crossings happen on the coordinator<->worker channels
+  // (net/procs.h), accounted as proc.* metrics.
   return std::make_unique<InProcessTransport>();
 }
 

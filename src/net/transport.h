@@ -34,6 +34,7 @@
 // the socket backend counts the bytes it actually wrote.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -46,9 +47,10 @@ namespace simulcast::net {
 enum class TransportKind {
   kInProcess,  ///< slot-indexed in-memory mailboxes (default; bit-identical)
   kSocket,     ///< loopback TCP endpoints + epoll event loop (verdict-identical)
+  kProcess,    ///< per-party worker processes under a coordinator (net/procs.h)
 };
 
-/// "inproc" / "socket" — the spelling of the --transport= knob.
+/// "inproc" / "socket" / "process" — the spelling of the --transport= knob.
 [[nodiscard]] std::string_view transport_kind_name(TransportKind kind) noexcept;
 
 /// Parses a --transport= value; throws UsageError on anything else.
@@ -63,6 +65,16 @@ enum class TransportKind {
 /// Installs the process-wide default.  Not thread-safe: call from main
 /// before spawning batches, which is what configure_threads does.
 void set_default_transport_kind(TransportKind kind) noexcept;
+
+/// Stall deadline for every blocking network wait: the socket backend's
+/// collect() event loop and the process coordinator's handshake / reply
+/// reads all abandon the execution (ProtocolError) after this long without
+/// progress.  Defaults to 30 seconds; the --net-timeout=S knob
+/// (exec::configure_threads) shortens it so tests fail in seconds, not
+/// minutes.  Relaxed atomic, same write-from-main contract as the
+/// transport-kind default.
+[[nodiscard]] std::chrono::seconds default_net_timeout() noexcept;
+void set_default_net_timeout(std::chrono::seconds timeout) noexcept;
 
 /// Per-execution transport accounting.  Byte/frame counts are
 /// deterministic (pure functions of the traffic); the *_us timings are

@@ -1,0 +1,157 @@
+// Worker side of the process transport (--transport=process): the
+// re-exec'd per-party entrypoint, the control-frame protocol it speaks
+// with the coordinator (net/procs.h), and the handshake codec shared by
+// both ends.
+//
+// A worker is this very binary re-executed (/proc/self/exe) with its end
+// of a socketpair on a fixed descriptor:
+//
+//   <exe> --simulcast-worker-fd=3 --simulcast-net-timeout=S
+//
+// so every driver and test that calls maybe_worker_main() early in main
+// can host workers without a separate binary — protocol registries,
+// static initializers and test-local protocols are all present in the
+// child for free.
+//
+// Control frames ride the channel as
+//
+//   u32 body_len | u8 type (ProcFrame) | body
+//
+// with bodies in the base/bytes.h canonical serialization.  The session
+// is strictly request/reply, coordinator-driven:
+//
+//   coordinator                      worker
+//   -----------                      ------
+//   kHello {version, n, slot, ...}
+//                                    kAck {slot echo, digest echo}
+//   kBegin
+//                                    kOut {begin-outbox frames}
+//   kRound {r, inbox frames}   (xR)
+//                                    kOut {round-outbox frames}
+//   kFinish {inbox frames}
+//                                    kOutput {has, size, packed} + exit 0
+//
+// Party messages inside kRound/kFinish/kOut bodies use the net/wire.h
+// frame format unchanged.  A machine that throws ProtocolError replies
+// kFailed instead and exits 0 (fail-in-place, mirroring the in-process
+// scheduler).  EOF on the channel is the shutdown signal; a worker that
+// reads EOF (or times out waiting for the coordinator) exits quietly.
+// Malformed or mis-versioned hello frames make the worker exit without
+// acking, which the coordinator surfaces as ProtocolError.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "base/bytes.h"
+
+namespace simulcast::net {
+
+/// "SPC1" — first field of hello and ack, so a foreign process on the
+/// descriptor is rejected before any length field is trusted.
+inline constexpr std::uint32_t kProcMagic = 0x53504331;
+
+/// Bumped on any control-protocol change; both ends reject other versions.
+inline constexpr std::uint8_t kProcVersion = 1;
+
+/// Upper bound on one control-frame body; a length prefix beyond it is
+/// garbage, not a huge message (ProtocolError, never an allocation).
+inline constexpr std::size_t kMaxProcFrame = std::size_t{1} << 26;
+
+/// Control-frame types.  Requests are low, replies have the high bit set.
+enum class ProcFrame : std::uint8_t {
+  kHello = 1,
+  kBegin = 2,
+  kRound = 3,
+  kFinish = 4,
+  kAck = 0x81,
+  kOut = 0x82,
+  kFailed = 0x83,
+  kOutput = 0x84,
+};
+
+/// Everything a worker needs to reconstruct its party machine: the
+/// versioned handshake body.  The fault digest binds the worker to the
+/// coordinator's FaultPlan so a mixed-up pairing is caught at handshake
+/// time, not as silent divergence.
+struct WorkerHello {
+  std::uint64_t n = 0;
+  std::uint64_t slot = 0;          ///< this worker's party id
+  std::uint64_t k = 0;             ///< security parameter
+  std::uint64_t seed = 0;          ///< master execution seed
+  std::uint64_t rounds = 0;
+  bool input = false;              ///< the party's input bit
+  bool spectator = false;          ///< respawned replacement: ack, then drain
+  bool kill_enabled = false;       ///< raise SIGKILL on round kill_round
+  std::uint64_t kill_round = 0;
+  std::uint64_t fault_digest = 0;  ///< digest of FaultPlan::summary()
+  std::string protocol;            ///< registry name (core/registry.h)
+  std::string commitments;         ///< scheme name; "" = no scheme
+};
+
+/// Worker's handshake reply: echoes enough to prove it parsed the hello
+/// it was meant to receive.
+struct WorkerAck {
+  std::uint64_t slot = 0;
+  std::uint64_t fault_digest = 0;
+};
+
+/// Handshake codecs over frame *bodies* (WorkerChannel::write_frame adds
+/// the length prefix and type byte).  decode_* throws ProtocolError on
+/// truncation, trailing slack, bad magic or version.
+void encode_worker_hello(const WorkerHello& hello, Bytes& out);
+[[nodiscard]] WorkerHello decode_worker_hello(const Bytes& body);
+void encode_worker_ack(const WorkerAck& ack, Bytes& out);
+[[nodiscard]] WorkerAck decode_worker_ack(const Bytes& body);
+
+/// One end of the coordinator<->worker socketpair: blocking-write,
+/// deadline-read control framing with stream reassembly.  Does not own
+/// the descriptor.  Single-threaded, like every per-execution object.
+class WorkerChannel {
+ public:
+  enum class Status { kOk, kEof, kTimeout };
+
+  explicit WorkerChannel(int fd) : fd_(fd) {}
+  WorkerChannel(const WorkerChannel&) = delete;
+  WorkerChannel& operator=(const WorkerChannel&) = delete;
+
+  /// Writes one complete frame.  Returns false when the peer is gone
+  /// (EPIPE/ECONNRESET — a dead worker is a crash, not an error); throws
+  /// std::system_error on any other syscall failure.
+  bool write_frame(ProcFrame type, const Bytes& body);
+
+  /// Reads one complete frame, waiting at most `deadline` for progress.
+  /// kEof when the peer closed mid-stream or cleanly; kTimeout when the
+  /// deadline passed first.  Throws ProtocolError on an oversized length
+  /// prefix, std::system_error on syscall failure.
+  [[nodiscard]] Status read_frame(ProcFrame& type, Bytes& body, std::chrono::seconds deadline);
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_;
+  Bytes inbuf_;             ///< stream-reassembly buffer
+  std::size_t inbuf_head_ = 0;  ///< first unparsed inbuf byte
+};
+
+/// The worker round loop, installed by sim/network.cpp at static-init
+/// time (the loop drives sim::Party machines, which the net layer cannot
+/// name).  Receives the validated hello and the channel right after the
+/// generic handshake checks; returns the process exit code.
+using WorkerLoop = int (*)(WorkerChannel& channel, const WorkerHello& hello);
+void set_worker_loop(WorkerLoop loop) noexcept;
+
+/// Worker-process dispatch: call first thing in main (drivers get it via
+/// exec::configure_threads).  Returns -1 when argv carries no worker
+/// flag — the caller proceeds as a normal process — otherwise runs the
+/// worker to completion and returns its exit code (callers std::exit it).
+/// Never throws; worker-side failures become nonzero exit codes.
+[[nodiscard]] int maybe_worker_main(int argc, char** argv);
+
+/// argv spelling shared by the supervisor and the dispatcher.
+inline constexpr const char* kWorkerFdFlag = "--simulcast-worker-fd=";
+inline constexpr const char* kWorkerTimeoutFlag = "--simulcast-net-timeout=";
+inline constexpr const char* kWorkerMuteFlag = "--simulcast-worker-mute";
+
+}  // namespace simulcast::net

@@ -1,10 +1,14 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <csignal>
+#include <string>
 
 #include "base/error.h"
+#include "crypto/commitment.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "net/worker.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,6 +17,8 @@
 namespace simulcast::sim {
 
 namespace {
+
+WorkerProtocolResolver g_worker_protocol_resolver = nullptr;
 
 bool is_corrupted(const std::vector<PartyId>& corrupted, PartyId id) {
   return std::find(corrupted.begin(), corrupted.end(), id) != corrupted.end();
@@ -58,7 +64,220 @@ void record_fault_metrics(const TrafficStats& traffic) {
   crashed.add(traffic.crashed);
 }
 
+// --- process transport: coordinator-side proxy ---------------------------
+
+/// The scheduler's view of a worker-hosted machine (--transport=process).
+/// Every Party entry point becomes one RPC to the worker; the worker's
+/// outbox is requeued through the coordinator-side PartyContext, so the
+/// scheduler's take_outbox sees exactly what a local machine would have
+/// queued, in the same order — the heart of the bit-identity contract.
+/// WorkerLost and ProtocolError from the supervisor propagate out of the
+/// Party calls, where the scheduler books a crash or a fail-in-place.
+class RemoteParty final : public Party {
+ public:
+  RemoteParty(net::ProcSupervisor& crew, PartyId id, bool input) : crew_(crew), id_(id) {
+    crew_.spawn(id, input);
+  }
+  ~RemoteParty() override { crew_.retire(id_); }
+
+  void begin(PartyContext& ctx) override { replay(crew_.begin(id_), ctx); }
+
+  void on_round(Round round, const Inbox& inbox, PartyContext& ctx) override {
+    replay(crew_.round(id_, round, inbox), ctx);
+  }
+
+  void finish(const Inbox& inbox, PartyContext& ctx) override {
+    (void)ctx;
+    output_ = crew_.finish(id_, inbox);
+  }
+
+  [[nodiscard]] BitVec output() const override {
+    if (!output_.has_value())
+      throw ProtocolError("RemoteParty: P" + std::to_string(id_) + " produced no output");
+    return *output_;
+  }
+
+ private:
+  static void replay(std::vector<Message> sent, PartyContext& ctx) {
+    for (Message& m : sent) {
+      if (m.to == kBroadcast)
+        ctx.broadcast(m.tag, std::move(m.payload));
+      else
+        ctx.send(m.to, m.tag, std::move(m.payload));
+    }
+  }
+
+  net::ProcSupervisor& crew_;
+  PartyId id_;
+  std::optional<BitVec> output_;
+};
+
+// --- process transport: worker-side round loop ---------------------------
+
+/// Encodes and sends the machine's drained outbox as one kOut frame.
+bool send_outbox(net::WorkerChannel& channel, PartyContext& ctx) {
+  const std::vector<Message> out = ctx.take_outbox();
+  Bytes blob;
+  net::WireWriter frames(blob);
+  for (const Message& m : out) frames.message(m);
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(out.size()));
+  w.bytes(blob);
+  return channel.write_frame(net::ProcFrame::kOut, w.take());
+}
+
+/// Decodes a kRound/kFinish inbox body (count + wire-frame blob past
+/// `reader`'s current position) into `storage`.
+Inbox decode_inbox(ByteReader& reader, std::vector<Message>& storage) {
+  const std::uint32_t count = reader.u32();
+  const Bytes blob = reader.bytes();
+  if (!reader.done()) throw ProtocolError("worker: inbox body has trailing bytes");
+  storage.clear();
+  storage.reserve(count);
+  net::WireReader frames(blob);
+  for (std::uint32_t i = 0; i < count; ++i) storage.push_back(frames.message());
+  if (!frames.done()) throw ProtocolError("worker: inbox blob has trailing bytes");
+  return Inbox(storage);
+}
+
+/// The worker half of the process transport (net/worker.h): reconstructs
+/// this slot's machine from the handshake — same registry protocol, same
+/// "party:<id>"-personalized DRBG, same commitment scheme — then serves
+/// the coordinator's begin/round/finish RPCs until EOF.  The machine code
+/// cannot tell it is running here rather than inside run_execution, which
+/// is the whole point.
+int process_worker_loop(net::WorkerChannel& channel, const net::WorkerHello& hello) {
+  using Status = net::WorkerChannel::Status;
+  const std::chrono::seconds deadline = net::default_net_timeout();
+
+  std::unique_ptr<ParallelBroadcastProtocol> protocol;
+  if (g_worker_protocol_resolver != nullptr) {
+    try {
+      protocol = g_worker_protocol_resolver(hello.protocol);
+    } catch (const Error&) {
+    }
+  }
+  // Exiting before the ack is the rejection signal: the coordinator reads
+  // EOF and raises ProtocolError.
+  if (protocol == nullptr) return 3;
+  if (protocol->rounds(hello.n) != hello.rounds) return 3;
+  ProtocolParams params;
+  params.n = hello.n;
+  params.k = static_cast<std::uint32_t>(hello.k);
+  std::unique_ptr<crypto::CommitmentScheme> scheme;
+  if (!hello.commitments.empty()) {
+    try {
+      scheme = crypto::make_commitment_scheme(hello.commitments);
+    } catch (const Error&) {
+      return 3;
+    }
+    params.commitments = scheme.get();
+  }
+  crypto::HmacDrbg drbg(hello.seed, "party:" + std::to_string(hello.slot));
+  MessagePool pool;
+  PartyContext ctx(hello.slot, hello.n, params.k, drbg, &pool);
+  std::unique_ptr<Party> machine;
+  if (!hello.spectator) {
+    try {
+      machine = protocol->make_party(hello.slot, hello.input, params);
+    } catch (const Error&) {
+      return 3;
+    }
+  }
+
+  Bytes ack_body;
+  net::encode_worker_ack({hello.slot, hello.fault_digest}, ack_body);
+  if (!channel.write_frame(net::ProcFrame::kAck, ack_body)) return 0;
+
+  if (hello.spectator) {
+    // A respawned standby holds the channel and discards everything until
+    // the coordinator closes it.
+    net::ProcFrame type{};
+    Bytes body;
+    while (channel.read_frame(type, body, deadline) == Status::kOk) {
+    }
+    return 0;
+  }
+
+  // Fail-in-place, the worker spelling: discard the failing call's queued
+  // messages, tell the coordinator, exit cleanly.  The coordinator's
+  // fail_party does the same bookkeeping a local ProtocolError gets.
+  const auto fail_in_place = [&]() {
+    (void)ctx.take_outbox();
+    (void)channel.write_frame(net::ProcFrame::kFailed, {});
+    return 0;
+  };
+
+  std::vector<Message> inbox_storage;
+  for (;;) {
+    net::ProcFrame type{};
+    Bytes body;
+    const Status status = channel.read_frame(type, body, deadline);
+    if (status == Status::kEof) return 0;      // coordinator shut us down
+    if (status == Status::kTimeout) return 5;  // coordinator vanished
+    switch (type) {
+      case net::ProcFrame::kBegin: {
+        try {
+          machine->begin(ctx);
+        } catch (const ProtocolError&) {
+          return fail_in_place();
+        }
+        if (!send_outbox(channel, ctx)) return 0;
+        break;
+      }
+      case net::ProcFrame::kRound: {
+        ByteReader reader(body);
+        const Round round = static_cast<Round>(reader.u64());
+        // The deterministic kill -9: die on *receiving* the round-start,
+        // before acting — exactly when a FaultPlan crash scheduled for
+        // this round would have destroyed the machine.
+        if (hello.kill_enabled && round == hello.kill_round) (void)::raise(SIGKILL);
+        const Inbox inbox = decode_inbox(reader, inbox_storage);
+        try {
+          machine->on_round(round, inbox, ctx);
+        } catch (const ProtocolError&) {
+          return fail_in_place();
+        }
+        if (!send_outbox(channel, ctx)) return 0;
+        break;
+      }
+      case net::ProcFrame::kFinish: {
+        ByteReader reader(body);
+        const Inbox inbox = decode_inbox(reader, inbox_storage);
+        try {
+          machine->finish(inbox, ctx);
+        } catch (const ProtocolError&) {
+          return fail_in_place();
+        }
+        ByteWriter w;
+        try {
+          const BitVec out = machine->output();
+          w.u8(1);
+          w.u32(static_cast<std::uint32_t>(out.size()));
+          w.u64(out.packed());
+        } catch (const Error&) {
+          w.u8(0);
+          w.u32(0);
+          w.u64(0);
+        }
+        (void)channel.write_frame(net::ProcFrame::kOutput, w.take());
+        return 0;
+      }
+      default:
+        return 6;  // protocol confusion; EOF tells the coordinator enough
+    }
+  }
+}
+
+const struct WorkerLoopRegistrar {
+  WorkerLoopRegistrar() noexcept { net::set_worker_loop(&process_worker_loop); }
+} g_worker_loop_registrar;
+
 }  // namespace
+
+void set_worker_protocol_resolver(WorkerProtocolResolver resolver) noexcept {
+  g_worker_protocol_resolver = resolver;
+}
 
 void PartyContext::send(PartyId to, Tag tag, Bytes payload) {
   if (to != kFunctionality && to >= n_) throw UsageError("PartyContext::send: bad destination");
@@ -139,6 +358,26 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   crypto::HmacDrbg adversary_drbg(config.seed, "adversary");
   crypto::HmacDrbg functionality_drbg(config.seed, "functionality");
 
+  const std::size_t total_rounds = protocol.rounds(n);
+
+  // Process mode hosts every honest machine in its own worker process
+  // under a per-execution supervisor (net/procs.h).  The crew is declared
+  // before the machines because RemoteParty destructors retire their
+  // workers through it.
+  std::unique_ptr<net::ProcSupervisor> crew;
+  if (config.transport == net::TransportKind::kProcess) {
+    net::ProcSupervisor::Spec spec;
+    spec.protocol = protocol.name();
+    spec.commitments = params.commitments != nullptr ? params.commitments->name() : std::string();
+    spec.n = n;
+    spec.k = params.k;
+    spec.seed = config.seed;
+    spec.rounds = total_rounds;
+    spec.fault_digest = net::fault_plan_digest(plan.summary());
+    spec.options = config.process;
+    crew = std::make_unique<net::ProcSupervisor>(std::move(spec));
+  }
+
   // Machines (honest parties only).  All payload buffers of the execution
   // cycle through one single-threaded pool: parties acquire via
   // PartyContext::writer(), the scheduler releases each round's consumed
@@ -149,7 +388,11 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   contexts.reserve(n);
   for (PartyId id = 0; id < n; ++id) {
     contexts.emplace_back(id, n, params.k, party_drbgs[id], &payload_pool);
-    if (!is_corrupted(corrupted, id)) machines[id] = protocol.make_party(id, inputs.get(id), params);
+    if (is_corrupted(corrupted, id)) continue;
+    if (crew != nullptr)
+      machines[id] = std::make_unique<RemoteParty>(*crew, id, inputs.get(id));
+    else
+      machines[id] = protocol.make_party(id, inputs.get(id), params);
   }
   std::unique_ptr<TrustedFunctionality> functionality = protocol.make_functionality(params);
 
@@ -166,7 +409,6 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     adversary.setup(info, adversary_drbg);
   }
 
-  const std::size_t total_rounds = protocol.rounds(n);
   ExecutionResult result;
   result.rounds = total_rounds;
   if (config.record_trace) result.trace.resize(total_rounds + 1);
@@ -189,17 +431,26 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
   for (const CrashFault& c : plan.crashes)
     if (!is_corrupted(corrupted, c.party)) crash_at[c.party] = std::min(crash_at[c.party], c.round);
 
+  // One crash bookkeeping path for both ways a party can die: a scheduled
+  // FaultPlan crash (apply_crashes below) and a worker death observed by
+  // the process supervisor (net::WorkerLost) — identical accounting is
+  // what makes a killed worker indistinguishable from a planned crash.
+  // Destroying a RemoteParty machine SIGKILLs and reaps its worker.
+  const auto crash_party = [&](PartyId id, Round round) {
+    machines[id].reset();
+    result.crashed.push_back(id);
+    ++result.traffic.crashed;
+    if (obs::trace_enabled())
+      obs::trace_instant("party-crash", {{"party", id}, {"round", round}});
+    if (obs::log_enabled())
+      obs::log_event(obs::LogLevel::kWarn, "party-crash", {{"party", id}, {"round", round}});
+  };
+
   const auto apply_crashes = [&](Round round) {
     if (plan.crashes.empty()) return;
     for (PartyId id = 0; id < n; ++id) {
       if (machines[id] == nullptr || crash_at[id] > round) continue;
-      machines[id].reset();
-      result.crashed.push_back(id);
-      ++result.traffic.crashed;
-      if (obs::trace_enabled())
-        obs::trace_instant("party-crash", {{"party", id}, {"round", round}});
-      if (obs::log_enabled())
-        obs::log_event(obs::LogLevel::kWarn, "party-crash", {{"party", id}, {"round", round}});
+      crash_party(id, round);
     }
   };
 
@@ -217,6 +468,8 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       machines[id]->begin(contexts[id]);
     } catch (const ProtocolError&) {
       fail_party(id);
+    } catch (const net::WorkerLost&) {
+      crash_party(id, 0);
     }
   }
 
@@ -346,6 +599,9 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       } catch (const ProtocolError&) {
         fail_party(id);
         continue;
+      } catch (const net::WorkerLost&) {
+        crash_party(id, round);
+        continue;
       }
       for (Message& m : contexts[id].take_outbox()) {
         m.round = round;
@@ -436,6 +692,8 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
       machines[id]->finish(inboxes[id], contexts[id]);
     } catch (const ProtocolError&) {
       fail_party(id);
+    } catch (const net::WorkerLost&) {
+      crash_party(id, total_rounds);
     }
   }
   if (config.record_trace) result.trace[total_rounds] = final_arriving;
@@ -450,7 +708,11 @@ ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
     }
   }
   result.adversary_output = adversary.output();
-  if (!plan.empty()) record_fault_metrics(result.traffic);
+  // Graceful end of the worker crew: reaped here, so the RemoteParty
+  // destructors' retire() calls are no-ops on the normal path.
+  if (crew != nullptr) crew->shutdown();
+  // Worker deaths count as crashes even under an empty plan.
+  if (!plan.empty() || result.traffic.crashed > 0) record_fault_metrics(result.traffic);
   record_alloc_metrics(payload_pool.stats());
   net::record_transport_metrics(transport->stats());
   transport->close();

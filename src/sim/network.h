@@ -24,10 +24,13 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "base/bitvec.h"
+#include "net/procs.h"
 #include "net/transport.h"
 #include "sim/adversary.h"
 #include "sim/faults.h"
@@ -56,6 +59,10 @@ struct ExecutionConfig {
   /// Samples and verdicts are transport-invariant, so the backend is not
   /// part of a campaign's identity.
   net::TransportKind transport = net::default_transport_kind();
+  /// Process-mode lifecycle knobs (net/procs.h): worker kill/respawn and
+  /// handshake tweaks for the equivalence and negative test suites.
+  /// Ignored unless transport is TransportKind::kProcess.
+  net::ProcessOptions process;
 };
 
 struct TrafficStats {
@@ -104,5 +111,16 @@ struct ExecutionResult {
 [[nodiscard]] ExecutionResult run_execution(const ParallelBroadcastProtocol& protocol,
                                             const ProtocolParams& params, const BitVec& inputs,
                                             Adversary& adversary, const ExecutionConfig& config);
+
+/// Worker-process protocol resolution: a spawned worker (net/worker.h)
+/// knows its protocol only by registry name, and the sim layer cannot see
+/// the registry (core depends on sim, not the reverse).  core/registry.cpp
+/// installs core::make_protocol here at static-init time; test binaries
+/// with local protocols install a chaining resolver in main() before
+/// net::maybe_worker_main.  The resolver throws (or returns null) on an
+/// unknown name, which the worker turns into a handshake rejection.
+using WorkerProtocolResolver =
+    std::unique_ptr<ParallelBroadcastProtocol> (*)(std::string_view name);
+void set_worker_protocol_resolver(WorkerProtocolResolver resolver) noexcept;
 
 }  // namespace simulcast::sim

@@ -43,5 +43,8 @@ check "empty status path"      --status=
 check "bad status interval"    --status-interval=banana
 check "zero status interval"   --status-interval=0
 check "repeated status path"   --status=a --status=b
+check "malformed net timeout"  --net-timeout=abc
+check "zero net timeout"       --net-timeout=0
+check "repeated net timeout"   --net-timeout=5 --net-timeout=5
 
 exit $fail
