@@ -30,6 +30,16 @@ class ProtocolError : public Error {
   using Error::Error;
 };
 
+/// A frame failed its integrity check (net/wire.h CRC32C trailer).  A
+/// subclass of ProtocolError so existing handlers keep treating it as
+/// malformed traffic; the resilient channels (net/chaos.h) additionally
+/// catch it by exact type to count the reject and await a retransmit
+/// instead of failing the execution.
+class ChecksumError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
+
 /// API misuse by the caller (bad parameters, wrong phase).
 class UsageError : public Error {
  public:

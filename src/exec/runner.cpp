@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include "base/error.h"
 #include "broadcast/parallel_broadcast.h"
 #include "exec/checkpoint.h"
+#include "net/chaos.h"
 #include "net/transport.h"
 #include "net/worker.h"
 #include "obs/log.h"
@@ -639,7 +641,7 @@ std::size_t configure_threads(int argc, char** argv,
     std::fprintf(stderr,
                  "error: %s\n"
                  "usage: %s [--threads=N] [--transport=inproc|socket|process] "
-                 "[--net-timeout=S] [--json=PATH] "
+                 "[--net-timeout=S] [--chaos=SPEC] [--json=PATH] "
                  "[--trace=PATH] [--log=PATH] [--status=PATH] [--status-interval=S] "
                  "[--drop=P] [--delay=R] [--crash=party@round,...] "
                  "[--checkpoint=PATH] [--resume] [--rep-timeout=S] [--retries=N] "
@@ -679,14 +681,31 @@ std::size_t configure_threads(int argc, char** argv,
       }
     } else if (arg.rfind("--net-timeout=", 0) == 0) {
       check_duplicate(arg);
+      // Fractional seconds are first-class (--net-timeout=0.5): chaos
+      // suites want sub-second stall detection, and the transports keep
+      // the deadline in milliseconds anyway.
       char* end = nullptr;
-      const long seconds = std::strtol(arg.c_str() + 14, &end, 10);
-      if (end == arg.c_str() + 14 || *end != '\0' || seconds <= 0) {
-        std::fprintf(stderr, "error: --net-timeout must be a positive number of seconds, got '%s'\n",
+      const double seconds = std::strtod(arg.c_str() + 14, &end);
+      const double ms = seconds * 1000.0;
+      if (end == arg.c_str() + 14 || *end != '\0' || !std::isfinite(seconds) || !(ms >= 1.0)) {
+        std::fprintf(stderr,
+                     "error: --net-timeout must be a positive number of seconds (>= 0.001), "
+                     "got '%s'\n",
                      arg.c_str() + 14);
         std::exit(2);
       }
-      net::set_default_net_timeout(std::chrono::seconds(seconds));
+      net::set_default_net_timeout(std::chrono::milliseconds(static_cast<long>(ms)));
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      check_duplicate(arg);
+      // "" parses to the inert spec (that is how the default summary
+      // round-trips), but an explicitly empty knob is a CLI mistake.
+      if (arg.size() == 8) usage_exit("--chaos needs a spec (see net/chaos.h for the grammar)");
+      try {
+        net::set_default_chaos_spec(net::parse_chaos_spec(arg.substr(8)));
+      } catch (const UsageError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(2);
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       check_duplicate(arg);
       const std::string path = arg.substr(7);

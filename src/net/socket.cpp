@@ -26,6 +26,13 @@ namespace {
 /// seq + slot prelude in front of every wire frame on a channel stream.
 constexpr std::size_t kRecordPrelude = 16;
 
+/// DeferredTx::release value meaning "released by hold countdown, not time".
+constexpr auto kNoRelease = std::chrono::steady_clock::time_point::max();
+
+/// Retransmit backoff bounds for collect()'s no-progress recovery loop.
+constexpr std::chrono::milliseconds kRetryFloor{25};
+constexpr std::chrono::milliseconds kRetryCeil{1600};
+
 [[noreturn]] void sys_error(const std::string& what) {
   throw std::system_error(errno, std::generic_category(), "SocketTransport: " + what);
 }
@@ -87,11 +94,16 @@ void SocketTransport::open(std::size_t n, std::size_t slots) {
   next_seq_ = 0;
   stats_ = WireStats{};
 
+  ledger_.assign(slots, {});
+  seen_.assign(slots, {});
+  deferred_.clear();
+
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) sys_error("epoll_create1");
 
   // n party channels + the broadcast channel + the functionality channel.
-  channels_.assign(n_ + 2, Channel{});
+  channels_.clear();
+  channels_.resize(n_ + 2);
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     Channel& ch = channels_[i];
     const int listener = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -133,6 +145,18 @@ void SocketTransport::open(std::size_t n, std::size_t slots) {
     ev.data.u64 = static_cast<std::uint64_t>(i) * 2;  // even = readable
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, ch.recv_fd, &ev) < 0) sys_error("epoll_ctl(ADD)");
   }
+  if (chaos_enabled_) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      // party:ID targets that party's channel only; the broadcast and
+      // functionality channels (n_, n_ + 1) are disturbed only by an
+      // all-party spec.
+      const bool targeted = chaos_spec_.party == ChaosSpec::kAllParties ||
+                            (i < n_ && chaos_spec_.applies_to(i));
+      if (targeted)
+        channels_[i].chaos =
+            std::make_unique<Chaos>(chaos_spec_, chaos_seed_, "socket:" + std::to_string(i));
+    }
+  }
   if (obs::log_enabled())
     obs::log_event(obs::LogLevel::kDebug, "net-connect",
                    {{"parties", n_}, {"channels", channels_.size()}, {"slots", slots}});
@@ -165,8 +189,130 @@ void SocketTransport::submit(sim::Message m, std::size_t slot) {
   ++expected_[slot];
 
   Channel& ch = channels_[index];
+  if (ch.chaos != nullptr) {
+    submit_chaotic(index, slot);
+    return;
+  }
   ch.outbox.insert(ch.outbox.end(), encode_buf_.begin(), encode_buf_.end());
   drain_channel_writes(index);
+}
+
+void SocketTransport::submit_chaotic(std::size_t index, std::size_t slot) {
+  Channel& ch = channels_[index];
+  const std::uint64_t seq = next_seq_ - 1;  // assigned by submit()
+  const auto now = std::chrono::steady_clock::now();
+  // Older hold-gated deferrals on this channel count this frame as one of
+  // the "later" frames they wait to be passed by.
+  for (DeferredTx& d : deferred_)
+    if (d.channel == index && d.release == kNoRelease && d.hold > 0) --d.hold;
+
+  const Chaos::Verdict verdict = ch.chaos->next_verdict();
+  if (verdict.drop) {
+    ++chaos_stats_.dropped;
+    ledger_[slot].push_back({seq, index, encode_buf_, true});
+  } else {
+    Bytes tx = encode_buf_;
+    bool harmed = false;
+    // The seq|slot prelude and the wire length prefix stay intact —
+    // packet-granularity corruption, so stream framing and slot parking
+    // never desynchronize and the CRC check owns detection.
+    if (verdict.corrupt && tx.size() > kRecordPrelude + 4 &&
+        ch.chaos->corrupt_bytes(tx.data() + kRecordPrelude + 4,
+                                tx.size() - kRecordPrelude - 4) > 0) {
+      harmed = true;
+      ++chaos_stats_.corrupted;
+    }
+    if (verdict.duplicate) ++chaos_stats_.duplicated;
+    const bool defer = verdict.delay.count() > 0 || verdict.hold > 0;
+    // Only frames that might never arrive on their own need the ledger.
+    if (defer || harmed) ledger_[slot].push_back({seq, index, encode_buf_, harmed});
+    if (defer) {
+      DeferredTx d;
+      d.seq = seq;
+      d.channel = index;
+      d.bytes = std::move(tx);
+      d.duplicate = verdict.duplicate;
+      if (verdict.delay.count() > 0) {
+        d.release = now + verdict.delay;
+        ++chaos_stats_.delayed;
+      } else {
+        d.hold = verdict.hold;
+        d.release = kNoRelease;
+        ++chaos_stats_.reordered;
+      }
+      deferred_.push_back(std::move(d));
+    } else {
+      ch.outbox.insert(ch.outbox.end(), tx.begin(), tx.end());
+      if (verdict.duplicate) ch.outbox.insert(ch.outbox.end(), tx.begin(), tx.end());
+      drain_channel_writes(index);
+    }
+  }
+  pump_deferred(now);
+}
+
+void SocketTransport::pump_deferred(std::chrono::steady_clock::time_point now) {
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    const bool due = it->release == kNoRelease ? it->hold == 0 : it->release <= now;
+    if (!due) {
+      ++it;
+      continue;
+    }
+    Channel& ch = channels_[it->channel];
+    ch.outbox.insert(ch.outbox.end(), it->bytes.begin(), it->bytes.end());
+    if (it->duplicate) ch.outbox.insert(ch.outbox.end(), it->bytes.begin(), it->bytes.end());
+    drain_channel_writes(it->channel);
+    it = deferred_.erase(it);
+  }
+}
+
+void SocketTransport::retransmit_missing(std::size_t slot) {
+  std::vector<std::vector<LedgerEntry*>> missing(channels_.size());
+  bool any = false;
+  for (LedgerEntry& e : ledger_[slot]) {
+    if (seen_[slot].count(e.seq) != 0) continue;
+    missing[e.channel].push_back(&e);
+    any = true;
+  }
+  if (!any) return;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (missing[i].empty()) continue;
+    Channel& ch = channels_[i];
+    if (ch.chaos_dead) continue;
+    // The budget meters recovery from frames chaos harmed; a deferral that
+    // merely has not released yet retransmits for free (the clean copy
+    // supersedes it).
+    const bool charged = std::any_of(missing[i].begin(), missing[i].end(),
+                                     [](const LedgerEntry* e) { return e->harmed; });
+    if (charged) {
+      if (ch.budget_used >= ch.chaos->spec().budget) {
+        ch.chaos_dead = true;
+        ++chaos_stats_.budget_exhausted;
+        if (obs::log_enabled())
+          obs::log_event(obs::LogLevel::kWarn, "net-chaos-budget",
+                         {{"channel", i}, {"budget", ch.chaos->spec().budget}});
+        continue;
+      }
+      ++ch.budget_used;
+    }
+    std::size_t frames = 0;
+    for (LedgerEntry* e : missing[i]) {
+      ch.outbox.insert(ch.outbox.end(), e->bytes.begin(), e->bytes.end());
+      e->harmed = false;
+      ++chaos_stats_.retransmits;
+      ++frames;
+      for (auto it = deferred_.begin(); it != deferred_.end();)
+        it = it->seq == e->seq ? deferred_.erase(it) : std::next(it);
+    }
+    drain_channel_writes(i);
+    if (obs::log_enabled())
+      obs::log_event(obs::LogLevel::kInfo, "net-retransmit",
+                     {{"slot", slot}, {"channel", i}, {"frames", frames}});
+  }
+}
+
+bool SocketTransport::any_channel_budget_dead() const noexcept {
+  return std::any_of(channels_.begin(), channels_.end(),
+                     [](const Channel& ch) { return ch.chaos_dead; });
 }
 
 void SocketTransport::drain_channel_writes(std::size_t index) {
@@ -228,7 +374,23 @@ void SocketTransport::parse_channel(std::size_t index) {
       throw ProtocolError("SocketTransport: frame addressed to slot " + std::to_string(slot) +
                           " of " + std::to_string(parked_.size()));
     WireReader reader(record + kRecordPrelude, frame);
-    parked_[slot].push_back({seq, reader.message()});
+    if (chaos_enabled_) {
+      // A CRC reject is a chaos bit-flip, not a protocol violation: count
+      // it and let retransmission recover the frame.  Duplicates (dup
+      // verdicts, crossed retransmits) are dropped by sequence number.
+      bool rejected = false;
+      sim::Message message;
+      try {
+        message = reader.message();
+      } catch (const ChecksumError&) {
+        ++chaos_stats_.corrupt_rejected;
+        rejected = true;
+      }
+      if (!rejected && seen_[slot].insert(seq).second)
+        parked_[slot].push_back({seq, std::move(message)});
+    } else {
+      parked_[slot].push_back({seq, reader.message()});
+    }
     ch.inbuf_head += kRecordPrelude + frame;
   }
   // Compact once the parsed prefix dominates the buffer, keeping reassembly
@@ -252,12 +414,17 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
   const auto start = std::chrono::steady_clock::now();
 
   pump_writes();
-  const std::chrono::seconds stall_timeout = default_net_timeout();
+  if (chaos_enabled_) pump_deferred(std::chrono::steady_clock::now());
+  const std::chrono::milliseconds stall_timeout = default_net_timeout();
   auto last_progress = std::chrono::steady_clock::now();
   std::size_t seen = parked_[slot].size();
+  auto backoff = kRetryFloor;
+  auto retry_at = last_progress + backoff;
   while (parked_[slot].size() < expected_[slot]) {
     epoll_event events[16];
-    const int ready = ::epoll_wait(epoll_fd_, events, 16, 100);
+    // Under chaos the loop must wake for deferred releases and retransmit
+    // deadlines, not only kernel readiness.
+    const int ready = ::epoll_wait(epoll_fd_, events, 16, chaos_enabled_ ? 5 : 100);
     if (ready < 0) {
       if (errno == EINTR) continue;
       sys_error("epoll_wait");
@@ -270,18 +437,32 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
       else
         drain_channel_writes(index);
     }
+    const auto now = std::chrono::steady_clock::now();
+    if (chaos_enabled_) pump_deferred(now);
     if (parked_[slot].size() != seen) {
       seen = parked_[slot].size();
-      last_progress = std::chrono::steady_clock::now();
-    } else if (std::chrono::steady_clock::now() - last_progress > stall_timeout) {
-      if (obs::log_enabled())
-        obs::log_event(obs::LogLevel::kError, "net-stall",
-                       {{"slot", slot},
-                        {"parked", parked_[slot].size()},
-                        {"expected", expected_[slot]}});
-      throw ProtocolError("SocketTransport: flush stalled at slot " + std::to_string(slot) +
-                          " (" + std::to_string(parked_[slot].size()) + "/" +
-                          std::to_string(expected_[slot]) + " frames)");
+      last_progress = now;
+      backoff = kRetryFloor;
+      retry_at = now + backoff;
+    } else {
+      if (chaos_enabled_ && now >= retry_at) {
+        retransmit_missing(slot);
+        backoff = std::min(backoff * 2, kRetryCeil);
+        retry_at = now + backoff;
+      }
+      if (now - last_progress > stall_timeout) {
+        if (obs::log_enabled())
+          obs::log_event(obs::LogLevel::kError, "net-stall",
+                         {{"slot", slot},
+                          {"parked", parked_[slot].size()},
+                          {"expected", expected_[slot]}});
+        std::string what = "SocketTransport: flush stalled at slot " + std::to_string(slot) +
+                           " (" + std::to_string(parked_[slot].size()) + "/" +
+                           std::to_string(expected_[slot]) + " frames)";
+        if (any_channel_budget_dead())
+          what += "; chaos retransmit budget exhausted — the wire was too hostile";
+        throw ProtocolError(what);
+      }
     }
   }
 
@@ -296,12 +477,26 @@ std::vector<sim::Message> SocketTransport::collect(std::size_t slot) {
   for (Parked& p : bucket) out.push_back(std::move(p.message));
   bucket.clear();
   bucket.shrink_to_fit();
+  if (chaos_enabled_) {
+    ledger_[slot].clear();
+    ledger_[slot].shrink_to_fit();
+    seen_[slot].clear();
+  }
 
   const std::uint64_t us = elapsed_us(start);
   stats_.flush_us += us;
   span.arg("frames", out.size());
   span.arg("us", us);
   return out;
+}
+
+void SocketTransport::configure_chaos(const ChaosSpec& spec, std::uint64_t seed) {
+  if (!channels_.empty())
+    throw UsageError("SocketTransport: configure_chaos must precede open");
+  spec.validate();
+  chaos_enabled_ = spec.enabled();
+  chaos_spec_ = spec;
+  chaos_seed_ = seed;
 }
 
 void SocketTransport::close() {
@@ -317,6 +512,13 @@ void SocketTransport::close() {
   if (epoll_fd_ >= 0) {
     (void)::close(epoll_fd_);
     epoll_fd_ = -1;
+  }
+  ledger_.clear();
+  seen_.clear();
+  deferred_.clear();
+  if (chaos_stats_.any()) {
+    record_chaos_metrics(chaos_stats_);
+    chaos_stats_ = ChaosStats{};
   }
 }
 

@@ -29,12 +29,30 @@
 // port/fd pressure); malformed bytes on a channel throw ProtocolError; a
 // flush that stops making progress for kStallTimeout throws ProtocolError
 // rather than hanging the campaign.
+//
+// Chaos (configure_chaos before open): each targeted channel gets a
+// deterministic net::Chaos engine ("socket:<index>") disturbing first
+// transmissions at submit — drops, duplicates, delay/reorder deferrals,
+// payload bit-flips (the seq|slot prelude and the wire length prefix stay
+// intact, so framing never desynchronizes).  Recovery is sender-driven:
+// the submit path keeps a per-slot ledger of chaos-touched frames, the
+// receive path rejects corrupted frames by CRC (net.chaos.corrupt_rejected)
+// and deduplicates by sequence number, and collect() retransmits the
+// ledger's still-missing frames clean after a no-progress backoff,
+// charging each channel's retransmit budget only for frames chaos actually
+// harmed.  A channel that spends its budget stops retransmitting and the
+// flush stall surfaces as the usual ProtocolError, annotated with the
+// exhaustion — on this backend degradation is an execution failure, not a
+// party crash (that contract belongs to the process transport).
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
+#include "net/chaos.h"
 #include "net/transport.h"
 
 namespace simulcast::net {
@@ -54,7 +72,10 @@ class SocketTransport final : public Transport {
   void open(std::size_t n, std::size_t slots) override;
   void submit(sim::Message m, std::size_t slot) override;
   [[nodiscard]] std::vector<sim::Message> collect(std::size_t slot) override;
+  void configure_chaos(const ChaosSpec& spec, std::uint64_t seed) override;
   void close() override;
+
+  [[nodiscard]] const ChaosStats& chaos_stats() const noexcept { return chaos_stats_; }
 
  private:
   // An event loop making no progress for net::default_net_timeout() (the
@@ -71,6 +92,9 @@ class SocketTransport final : public Transport {
     bool want_write = false;  ///< send_fd registered for EPOLLOUT
     Bytes inbuf;              ///< stream-reassembly buffer
     std::size_t inbuf_head = 0;   ///< first unparsed inbuf byte
+    std::unique_ptr<Chaos> chaos;     ///< null = clean channel
+    std::size_t budget_used = 0;      ///< charged retransmit bursts
+    bool chaos_dead = false;          ///< budget spent: no more retransmits
   };
 
   /// A frame parked until its slot is collected, keyed for the
@@ -80,12 +104,37 @@ class SocketTransport final : public Transport {
     sim::Message message;
   };
 
+  /// A chaos-touched frame retained (clean) until its slot is collected,
+  /// so collect() can retransmit whatever never arrived.
+  struct LedgerEntry {
+    std::uint64_t seq = 0;
+    std::size_t channel = 0;
+    Bytes bytes;         ///< clean serialized record, prelude included
+    bool harmed = false; ///< dropped or corrupted: retransmitting it
+                         ///< charges the channel's budget
+  };
+
+  /// A first transmission held back by a delay or reorder verdict (bytes
+  /// already carry any corruption).
+  struct DeferredTx {
+    std::uint64_t seq = 0;
+    std::size_t channel = 0;
+    Bytes bytes;
+    bool duplicate = false;
+    std::size_t hold = 0;
+    std::chrono::steady_clock::time_point release;  ///< max() = hold-gated
+  };
+
   [[nodiscard]] std::size_t channel_for(sim::PartyId to) const;
   void pump_writes();
   void drain_channel_writes(std::size_t index);
   void on_readable(std::size_t index);
   void parse_channel(std::size_t index);
   void update_write_interest(std::size_t index, bool want);
+  void submit_chaotic(std::size_t index, std::size_t slot);
+  void pump_deferred(std::chrono::steady_clock::time_point now);
+  void retransmit_missing(std::size_t slot);
+  [[nodiscard]] bool any_channel_budget_dead() const noexcept;
 
   std::size_t n_ = 0;
   int epoll_fd_ = -1;
@@ -94,6 +143,14 @@ class SocketTransport final : public Transport {
   std::vector<std::vector<Parked>> parked_; ///< frames received per slot
   std::uint64_t next_seq_ = 0;
   Bytes encode_buf_;  ///< reused per submit; steady state allocates nothing
+
+  bool chaos_enabled_ = false;
+  ChaosSpec chaos_spec_;
+  std::uint64_t chaos_seed_ = 0;
+  std::vector<std::vector<LedgerEntry>> ledger_;          ///< per slot
+  std::vector<std::unordered_set<std::uint64_t>> seen_;   ///< per-slot dedup
+  std::vector<DeferredTx> deferred_;
+  ChaosStats chaos_stats_;
 };
 
 }  // namespace simulcast::net

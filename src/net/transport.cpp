@@ -17,9 +17,9 @@ namespace {
 // before batches start (same contract as every exec:: process default).
 std::atomic<TransportKind> g_default_kind{TransportKind::kInProcess};
 
-// Seconds, not a duration: std::atomic<std::chrono::seconds> is not
-// guaranteed lock-free and the knob is read on every blocking wait.
-std::atomic<long> g_net_timeout_s{30};
+// Milliseconds, not a duration: std::atomic<std::chrono::milliseconds> is
+// not guaranteed lock-free and the knob is read on every blocking wait.
+std::atomic<long> g_net_timeout_ms{30000};
 
 /// The extracted pending-delivery vectors of the pre-transport scheduler:
 /// submit is a vector push, collect is a vector move, ordering is
@@ -77,12 +77,12 @@ void set_default_transport_kind(TransportKind kind) noexcept {
   g_default_kind.store(kind, std::memory_order_relaxed);
 }
 
-std::chrono::seconds default_net_timeout() noexcept {
-  return std::chrono::seconds(g_net_timeout_s.load(std::memory_order_relaxed));
+std::chrono::milliseconds default_net_timeout() noexcept {
+  return std::chrono::milliseconds(g_net_timeout_ms.load(std::memory_order_relaxed));
 }
 
-void set_default_net_timeout(std::chrono::seconds timeout) noexcept {
-  g_net_timeout_s.store(timeout.count(), std::memory_order_relaxed);
+void set_default_net_timeout(std::chrono::milliseconds timeout) noexcept {
+  g_net_timeout_ms.store(timeout.count(), std::memory_order_relaxed);
 }
 
 std::unique_ptr<Transport> make_transport(TransportKind kind) {

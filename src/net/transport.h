@@ -44,6 +44,8 @@
 
 namespace simulcast::net {
 
+struct ChaosSpec;
+
 enum class TransportKind {
   kInProcess,  ///< slot-indexed in-memory mailboxes (default; bit-identical)
   kSocket,     ///< loopback TCP endpoints + epoll event loop (verdict-identical)
@@ -70,11 +72,13 @@ void set_default_transport_kind(TransportKind kind) noexcept;
 /// collect() event loop and the process coordinator's handshake / reply
 /// reads all abandon the execution (ProtocolError) after this long without
 /// progress.  Defaults to 30 seconds; the --net-timeout=S knob
-/// (exec::configure_threads) shortens it so tests fail in seconds, not
-/// minutes.  Relaxed atomic, same write-from-main contract as the
-/// transport-kind default.
-[[nodiscard]] std::chrono::seconds default_net_timeout() noexcept;
-void set_default_net_timeout(std::chrono::seconds timeout) noexcept;
+/// (exec::configure_threads, fractional seconds accepted) shortens it so
+/// tests fail in seconds, not minutes.  Chaos-resilient channels treat
+/// this as a ceiling and derive tighter adaptive deadlines from observed
+/// round-trip times (net/worker.h stall_deadline()).  Relaxed atomic, same
+/// write-from-main contract as the transport-kind default.
+[[nodiscard]] std::chrono::milliseconds default_net_timeout() noexcept;
+void set_default_net_timeout(std::chrono::milliseconds timeout) noexcept;
 
 /// Per-execution transport accounting.  Byte/frame counts are
 /// deterministic (pure functions of the traffic); the *_us timings are
@@ -103,6 +107,12 @@ class Transport {
   /// Returns every message submitted for `slot`, in submission order.
   /// Each slot is collected at most once.
   [[nodiscard]] virtual std::vector<sim::Message> collect(std::size_t slot) = 0;
+
+  /// Installs a deterministic wire-fault layer (net/chaos.h) before
+  /// open().  The in-process backend ignores it — there is no wire to
+  /// disturb — which is also why recoverable chaos cannot change results:
+  /// the chaos-free backend defines them.
+  virtual void configure_chaos(const ChaosSpec& /*spec*/, std::uint64_t /*seed*/) {}
 
   /// Releases transport resources (idempotent).
   virtual void close() {}

@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <array>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -16,7 +17,30 @@ std::uint32_t checked_u32(std::size_t value, const char* what) {
   return static_cast<std::uint32_t>(value);
 }
 
+/// Byte-at-a-time CRC32C lookup table (Castagnoli polynomial 0x1EDC6F41,
+/// reflected form 0x82F63B78), built once at first use.
+const std::uint32_t* crc32c_table() noexcept {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0x82F63B78u : 0u);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
 }  // namespace
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t size, std::uint32_t seed) noexcept {
+  const std::uint32_t* table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  return ~crc;
+}
 
 void WireWriter::u32(std::uint32_t v) {
   for (int shift = 0; shift < 32; shift += 8)
@@ -36,6 +60,7 @@ void WireWriter::raw(const void* data, std::size_t size) {
 void WireWriter::message(const sim::Message& m) {
   const std::size_t body = encoded_size(m) - 4;  // everything the prefix covers
   u32(checked_u32(body, "frame length"));
+  const std::size_t covered_from = out_.size();  // CRC covers version..payload
   u8(kWireVersion);
   u64(static_cast<std::uint64_t>(m.from));
   u64(static_cast<std::uint64_t>(m.to));
@@ -45,6 +70,7 @@ void WireWriter::message(const sim::Message& m) {
   raw(tag.data(), tag.size());
   u32(checked_u32(m.payload.size(), "payload length"));
   raw(m.payload.data(), m.payload.size());
+  u32(crc32c(out_.data() + covered_from, out_.size() - covered_from));
 }
 
 void WireReader::need(std::size_t count) const {
@@ -78,7 +104,23 @@ sim::Message WireReader::message() {
   const std::uint64_t body = u32();
   // The frame must fit in the remaining input...
   need(body);
+  if (body < kFrameOverhead - 4)
+    throw ProtocolError("wire: frame length " + std::to_string(body) +
+                        " below the fixed overhead");
   const std::size_t frame_end = pos_ + body;
+  // Integrity before interpretation: the CRC32C trailer is verified over
+  // the whole covered region before any field is trusted, so a bit-flipped
+  // frame is always a ChecksumError — never a field-level parse of garbage.
+  {
+    std::uint32_t stored = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+      stored |= static_cast<std::uint32_t>(data_[frame_end - 4 + i]) << (8 * i);
+    const std::uint32_t computed = crc32c(data_ + pos_, body - 4);
+    if (stored != computed)
+      throw ChecksumError("wire: frame failed its CRC32C check (stored " +
+                          std::to_string(stored) + ", computed " + std::to_string(computed) +
+                          ")");
+  }
   const std::uint8_t version = u8();
   if (version != kWireVersion)
     throw ProtocolError("wire: unsupported frame version " + std::to_string(version) +
@@ -102,11 +144,12 @@ sim::Message WireReader::message() {
     throw ProtocolError("wire: payload length overruns the frame");
   m.payload.assign(data_ + pos_, data_ + pos_ + payload_len);
   pos_ += payload_len;
-  // The prefix must cover the fields exactly: slack bytes inside a frame
-  // are smuggled data, not padding.
-  if (pos_ != frame_end)
+  // The prefix must cover the fields exactly (plus the CRC trailer): slack
+  // bytes inside a frame are smuggled data, not padding.
+  if (pos_ + 4 != frame_end)
     throw ProtocolError("wire: frame length prefix does not match its contents (" +
-                        std::to_string(frame_end - pos_) + " slack bytes)");
+                        std::to_string(frame_end - pos_ - 4) + " slack bytes)");
+  pos_ = frame_end;  // consume the verified CRC trailer
   return m;
 }
 

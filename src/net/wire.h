@@ -11,10 +11,16 @@
 //   u64 round
 //   u32 tag_len     -- followed by tag_len raw tag bytes
 //   u32 payload_len -- followed by payload_len raw payload bytes
+//   u32 crc         -- CRC32C over every byte between frame_len and here
 //
 // and frame_len must equal the exact size of the fields it covers —
 // a frame with slack or overrun bytes is rejected, so garbage cannot hide
-// inside a "valid" length prefix.  Commitment and opening payloads need no
+// inside a "valid" length prefix.  The CRC32C trailer (version 2) is
+// verified *before* any field is interpreted, so a bit-flipped frame —
+// the chaos layer's corruption model (net/chaos.h) — always surfaces as
+// ChecksumError, never as a field-level parse of garbage; resilient
+// channels catch exactly that type, count the reject and wait for a
+// retransmit.  Commitment and opening payloads need no
 // special casing: protocols already canonicalize them into Message::payload
 // through base/bytes.h's length-prefixed ByteWriter, so the frame treats
 // every payload as opaque bytes.
@@ -41,11 +47,18 @@
 namespace simulcast::net {
 
 /// Bumped on any frame-layout change; a decoder rejects other versions.
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: the CRC32C integrity trailer.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /// Fixed bytes of a frame beyond the tag and payload: the u32 length
-/// prefix, the version byte, three u64 header fields and two u32 lengths.
-inline constexpr std::size_t kFrameOverhead = 4 + 1 + 3 * 8 + 2 * 4;
+/// prefix, the version byte, three u64 header fields, two u32 lengths and
+/// the u32 CRC32C trailer.
+inline constexpr std::size_t kFrameOverhead = 4 + 1 + 3 * 8 + 2 * 4 + 4;
+
+/// CRC32C (Castagnoli) over `size` bytes, software table implementation.
+/// `seed` chains multi-buffer computations (pass a previous return value).
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data, std::size_t size,
+                                   std::uint32_t seed = 0) noexcept;
 
 /// Exact on-wire size of `m`'s frame, length prefix included.
 [[nodiscard]] inline std::size_t encoded_size(const sim::Message& m) noexcept {

@@ -190,6 +190,7 @@ void append(Json& json, const ExperimentRecord& r) {
       .member("seed", r.seed)
       .member("threads", std::uint64_t{r.perf.report.threads})
       .member("transport", r.transport)
+      .member("chaos", r.chaos)
       .member("compiler", kCompiler)
       .member("build", kBuildMode);
   json.key("campaigns").array_begin();

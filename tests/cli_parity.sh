@@ -45,6 +45,28 @@ check "zero status interval"   --status-interval=0
 check "repeated status path"   --status=a --status=b
 check "malformed net timeout"  --net-timeout=abc
 check "zero net timeout"       --net-timeout=0
+check "negative net timeout"   --net-timeout=-1
+check "sub-ms net timeout"     --net-timeout=0.0001
+check "trailing-junk timeout"  --net-timeout=5s
 check "repeated net timeout"   --net-timeout=5 --net-timeout=5
+check "empty chaos spec"       --chaos=
+check "unknown chaos key"      --chaos=turbulence:0.5
+check "chaos loss over 1"      --chaos=loss:1.5
+check "chaos bad delay kind"   --chaos=delay:gauss:1
+check "chaos without a wire condition" --chaos=budget:3
+check "repeated chaos"         --chaos=loss:0.1 --chaos=loss:0.1
+
+# Fractional --net-timeout must be *accepted* (the knob takes seconds, and
+# sub-second deadlines are what keep negative network tests fast).  explore
+# alone carries the acceptance row: with one in-process sample it exits 0 in
+# milliseconds, while a bench driver would run its whole grid.
+"$explore" gennaro none uniform --samples=1 --net-timeout=0.5 >/dev/null 2>&1
+a=$?
+if [ "$a" -ne 0 ]; then
+  echo "FAIL [fractional net timeout accepted]: explore exit $a (want 0)" >&2
+  fail=1
+else
+  echo "ok   [fractional net timeout accepted]: explore exit 0"
+fi
 
 exit $fail

@@ -157,13 +157,13 @@ void expect_no_zombies() {
 /// test shortens it so the negative path stays fast).
 class ScopedNetTimeout {
  public:
-  explicit ScopedNetTimeout(std::chrono::seconds timeout) : saved_(default_net_timeout()) {
+  explicit ScopedNetTimeout(std::chrono::milliseconds timeout) : saved_(default_net_timeout()) {
     set_default_net_timeout(timeout);
   }
   ~ScopedNetTimeout() { set_default_net_timeout(saved_); }
 
  private:
-  std::chrono::seconds saved_;
+  std::chrono::milliseconds saved_;
 };
 
 /// Restores the process-wide transport knob on scope exit.

@@ -168,16 +168,17 @@ struct Golden {
 };
 
 // wire_bytes price every message at net::encoded_size (frame overhead +
-// tag + payload), the schema-v6 accounting.
+// tag + payload), the schema-v6 accounting; the wire-v2 CRC32C trailer
+// added 4 bytes per frame.
 constexpr Golden kGolden[] = {
-    {"seq-broadcast", 4, 4, 4, 200, "0101"},
-    {"cgma", 4, 7, 36, 2664, "0101"},
-    {"chor-rabin", 4, 10, 52, 3564, "0101"},
-    {"gennaro", 4, 4, 36, 2664, "0101"},
-    {"naive-commit-reveal", 4, 2, 8, 660, "0101"},
-    {"flawed-pi-g", 4, 2, 8, 428, "0101"},
-    {"flawed-pi-g-mpc", 4, 4, 56, 4748, "0101"},
-    {"seq-broadcast-ds", 3, 12, 27, 835344, "010"},
+    {"seq-broadcast", 4, 4, 4, 216, "0101"},
+    {"cgma", 4, 7, 36, 2808, "0101"},
+    {"chor-rabin", 4, 10, 52, 3772, "0101"},
+    {"gennaro", 4, 4, 36, 2808, "0101"},
+    {"naive-commit-reveal", 4, 2, 8, 692, "0101"},
+    {"flawed-pi-g", 4, 2, 8, 460, "0101"},
+    {"flawed-pi-g-mpc", 4, 4, 56, 4972, "0101"},
+    {"seq-broadcast-ds", 3, 12, 27, 835452, "010"},
 };
 
 TEST_P(FaultInvariantsTest, EmptyPlanReproducesGoldenOutputs) {
